@@ -1,0 +1,73 @@
+"""Shared setup for the per-table/figure benchmark harness.
+
+Each ``test_bench_*.py`` regenerates one paper artifact through the
+same code path as ``python -m repro.experiments`` and prints its rows.
+To keep the harness runnable in minutes, behavioural experiments run at
+SMOKE scale over a four-application subset (two big-working-set apps,
+one hot-set app, one low-load app); the ``--scale full`` CLI run is the
+paper-shaped version.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from typing import List
+
+from repro.experiments import SMOKE, run_experiment
+from repro.experiments.common import clear_caches
+
+BENCH_SUBSET: List[str] = ["art", "equake", "twolf", "wupwise"]
+
+_PATCHED = False
+
+
+def shrink_suite() -> None:
+    """Point every experiment module at the benchmark subset (idempotent)."""
+    global _PATCHED
+    if _PATCHED:
+        return
+    import repro.experiments.ablations as ab
+    import repro.experiments.energy_delay as ed
+    import repro.experiments.figure4 as f4
+    import repro.experiments.figure5 as f5
+    import repro.experiments.figure6 as f6
+    import repro.experiments.figure7 as f7
+    import repro.experiments.figure8 as f8
+    import repro.experiments.figure9 as f9
+    import repro.experiments.figure10 as f10
+    import repro.experiments.lru_random as lr
+    import repro.experiments.table3 as t3
+
+    def names() -> List[str]:
+        return list(BENCH_SUBSET)
+
+    def high() -> List[str]:
+        return [b for b in BENCH_SUBSET if b != "wupwise"]
+
+    def low() -> List[str]:
+        return ["wupwise"]
+
+    for module in (f4, f5, f7, f9, f10, lr, ed, t3):
+        module.suite_names = names
+    for module in (f6, f8):
+        module.suite_names = names
+        module.high_load_names = high
+        module.low_load_names = low
+    ab.SUBSET = list(BENCH_SUBSET)
+    _PATCHED = True
+
+
+def regenerate(name: str):
+    """Run one experiment at bench scale and return its report."""
+    shrink_suite()
+    return run_experiment(name, SMOKE)
+
+
+def run_and_print(benchmark, name: str) -> None:
+    """pytest-benchmark entry: time one regeneration, print the rows."""
+    report = benchmark.pedantic(regenerate, args=(name,), rounds=1, iterations=1)
+    print()
+    print(report.to_text())
+
+
+def reset() -> None:
+    clear_caches()

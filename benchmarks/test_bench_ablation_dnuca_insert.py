@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Ablation - D-NUCA tail vs head insertion.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments ablation_dnuca_insert --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_ablation_dnuca_insert(benchmark):
+    run_and_print(benchmark, "ablation_dnuca_insert")

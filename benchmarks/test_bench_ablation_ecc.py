@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Ablation - ECC spreading (Sec 3.1 quantified).
+
+See bench_common for scale; the full-scale equivalent is
+``python -m repro.experiments ablation_ecc --scale full``.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_ablation_ecc(benchmark):
+    run_and_print(benchmark, "ablation_ecc")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Extension - far d-group leakage gating.
+
+See bench_common for scale; the full-scale equivalent is
+``python -m repro.experiments ablation_leakage --scale full``.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_ablation_leakage(benchmark):
+    run_and_print(benchmark, "ablation_leakage")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Ablation - restricted distance associativity.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments ablation_pointers --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_ablation_pointers(benchmark):
+    run_and_print(benchmark, "ablation_pointers")

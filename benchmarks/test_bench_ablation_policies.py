@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Ablation - promotion x distance replacement.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments ablation_policies --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_ablation_policies(benchmark):
+    run_and_print(benchmark, "ablation_policies")

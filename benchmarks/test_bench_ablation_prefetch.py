@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Extension - stream prefetching.
+
+See bench_common for scale; the full-scale equivalent is
+``python -m repro.experiments ablation_prefetch --scale full``.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_ablation_prefetch(benchmark):
+    run_and_print(benchmark, "ablation_prefetch")

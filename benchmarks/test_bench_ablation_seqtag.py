@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Ablation - sequential vs parallel tag-data access.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments ablation_seqtag --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_ablation_seqtag(benchmark):
+    run_and_print(benchmark, "ablation_seqtag")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Ablation - static vs managed non-uniformity.
+
+See bench_common for scale; the full-scale equivalent is
+``python -m repro.experiments ablation_snuca --scale full``.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_ablation_snuca(benchmark):
+    run_and_print(benchmark, "ablation_snuca")

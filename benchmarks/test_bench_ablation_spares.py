@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Ablation - spare-subarray yield (Sec 3.2 quantified).
+
+See bench_common for scale; the full-scale equivalent is
+``python -m repro.experiments ablation_spares --scale full``.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_ablation_spares(benchmark):
+    run_and_print(benchmark, "ablation_spares")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Sec 5.4.2 - processor energy-delay.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments energy_delay --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_energy_delay(benchmark):
+    run_and_print(benchmark, "energy_delay")

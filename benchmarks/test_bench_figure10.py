@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 10 - L2 dynamic energy and d-group accesses.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments figure10 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_figure10(benchmark):
+    run_and_print(benchmark, "figure10")

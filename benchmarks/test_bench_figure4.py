@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 4 - SA vs DA placement access distribution.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments figure4 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_figure4(benchmark):
+    run_and_print(benchmark, "figure4")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 5 - promotion-policy access distributions.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments figure5 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_figure5(benchmark):
+    run_and_print(benchmark, "figure5")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 6 - NuRAPID policy performance vs base.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments figure6 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_figure6(benchmark):
+    run_and_print(benchmark, "figure6")

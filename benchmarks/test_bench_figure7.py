@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 7 - 2/4/8-d-group access distributions.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments figure7 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_figure7(benchmark):
+    run_and_print(benchmark, "figure7")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8 - 2/4/8-d-group performance vs base.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments figure8 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_figure8(benchmark):
+    run_and_print(benchmark, "figure8")

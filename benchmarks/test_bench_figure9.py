@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 9 - D-NUCA vs NuRAPID performance.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments figure9 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_figure9(benchmark):
+    run_and_print(benchmark, "figure9")

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Sec 5.3.1 - random vs LRU distance replacement.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments lru_random --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_lru_random(benchmark):
+    run_and_print(benchmark, "lru_random")

@@ -1,0 +1,60 @@
+"""Micro-benchmarks for the simulator's hot paths.
+
+Not a paper artifact — these track the raw throughput of the cache
+models and the trace generator, which bound how large an experiment
+scale is affordable.
+"""
+
+import random
+
+from repro.nuca.cache import DNUCACache
+from repro.nuca.config import DNUCAConfig, SearchPolicy
+from repro.nurapid.cache import NuRAPIDCache
+from repro.nurapid.config import NuRAPIDConfig
+from repro.workloads import generate_trace, get_benchmark
+
+KB = 1024
+
+
+def _drive(cache, n, span):
+    rng = random.Random(1)
+    now = 0.0
+    for _ in range(n):
+        address = rng.randrange(0, span) & ~127
+        result = cache.access(address, now=now)
+        now += 8
+        if not result.hit:
+            cache.fill(address, now=now)
+    return cache
+
+
+def test_bench_nurapid_access(benchmark):
+    def run():
+        cache = NuRAPIDCache(
+            NuRAPIDConfig(capacity_bytes=1024 * KB, block_bytes=128,
+                          associativity=8, n_dgroups=4, name="bench")
+        )
+        return _drive(cache, 20_000, 2 * 1024 * KB)
+
+    cache = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cache.stats.get("accesses") == 20_000
+
+
+def test_bench_dnuca_access(benchmark):
+    def run():
+        cache = DNUCACache(
+            DNUCAConfig(capacity_bytes=1024 * KB, bank_bytes=64 * KB,
+                        policy=SearchPolicy.SS_ENERGY, name="bench-nuca")
+        )
+        return _drive(cache, 20_000, 2 * 1024 * KB)
+
+    cache = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cache.stats.get("accesses") == 20_000
+
+
+def test_bench_trace_generation(benchmark):
+    def run():
+        return generate_trace(get_benchmark("art"), 200_000, seed=5)
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(trace) == 200_000

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 2 - example cache energies (nJ), mini-Cacti vs paper.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments table2 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_table2(benchmark):
+    run_and_print(benchmark, "table2")

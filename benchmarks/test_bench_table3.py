@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 3 - application characterization on the base system.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments table3 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_table3(benchmark):
+    run_and_print(benchmark, "table3")

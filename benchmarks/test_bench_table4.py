@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 4 - per-MB latencies for NuRAPID and D-NUCA.
+
+See bench_common for scale; the full-scale equivalent is
+python -m repro.experiments table4 --scale full.
+"""
+
+from bench_common import run_and_print
+
+
+def test_bench_table4(benchmark):
+    run_and_print(benchmark, "table4")

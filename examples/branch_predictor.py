@@ -1,0 +1,65 @@
+"""Exercise the Table 1 branch-predictor substrate directly.
+
+Feeds three synthetic branch behaviours through the bimodal, gshare,
+and hybrid predictors and prints their mispredict rates — showing why
+the hybrid (the paper's Table 1 choice) wins on mixed code.
+
+Run:  python examples/branch_predictor.py
+"""
+
+import random
+
+from repro.cpu.branch import BimodalPredictor, GSharePredictor, HybridPredictor
+
+
+def biased_stream(rng, n, taken_probability=0.95):
+    """A loop-like branch: almost always taken."""
+    return [(0x400, rng.random() < taken_probability) for _ in range(n)]
+
+
+def patterned_stream(n):
+    """A period-4 pattern: bimodal-hostile, history-friendly."""
+    pattern = [True, True, False, True]
+    return [(0x800, pattern[i % 4]) for i in range(n)]
+
+
+def mixed_stream(rng, n):
+    """Many PCs with different behaviours, like real integer code."""
+    stream = []
+    pattern = [True, False]
+    for i in range(n):
+        which = i % 3
+        if which == 0:
+            stream.append((0x1000, rng.random() < 0.9))
+        elif which == 1:
+            stream.append((0x2000, pattern[(i // 3) % 2]))
+        else:
+            stream.append((0x3000 + (i % 8) * 4, rng.random() < 0.7))
+    return stream
+
+
+def evaluate(name, stream):
+    predictors = {
+        "bimodal": BimodalPredictor(8192),
+        "gshare": GSharePredictor(8192, history_bits=12),
+        "hybrid": HybridPredictor(8192, history_bits=12),
+    }
+    print(f"{name} ({len(stream)} branches)")
+    for label, predictor in predictors.items():
+        for pc, taken in stream:
+            predictor.update(pc, taken)
+        print(f"  {label:<8} mispredict rate: {predictor.mispredict_rate:6.2%}")
+    print()
+
+
+def main() -> None:
+    rng = random.Random(7)
+    evaluate("strongly biased loop branch", biased_stream(rng, 20_000))
+    evaluate("period-4 pattern", patterned_stream(20_000))
+    evaluate("mixed multi-PC code", mixed_stream(rng, 30_000))
+    print("The hybrid tracks whichever component suits each branch —")
+    print("the Table 1 configuration (2-level hybrid, 8K entries).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Compare the three L2 organizations on one benchmark.
+
+Runs `art` (the paper's biggest winner) on the base L2/L3 hierarchy,
+D-NUCA, and NuRAPID, and prints IPC, L2 behaviour, and energy — a
+one-benchmark slice of Figures 9 and 10.
+
+Run:  python examples/compare_architectures.py [benchmark] [n_refs]
+"""
+
+import sys
+
+from repro.sim import base_config, dnuca_config, nurapid_config, run_benchmark
+from repro.nuca.config import SearchPolicy
+from repro.workloads import generate_trace, get_benchmark
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "art"
+    n_refs = int(sys.argv[2]) if len(sys.argv) > 2 else 400_000
+
+    profile = get_benchmark(benchmark)
+    print(f"benchmark: {benchmark} ({profile.suite}, {profile.load_class}-load), "
+          f"{n_refs} references")
+    trace = generate_trace(profile, n_refs, seed=1)
+
+    configs = [
+        base_config(),
+        dnuca_config(policy=SearchPolicy.SS_PERFORMANCE),
+        nurapid_config(n_dgroups=4),
+    ]
+    results = {
+        c.name: run_benchmark(c, benchmark, trace=trace, warmup_fraction=0.4)
+        for c in configs
+    }
+    base = results["base"]
+
+    header = f"{'config':<28}{'IPC':>7}{'vs base':>9}{'L2 miss':>9}{'L2 uJ':>8}{'dg0':>7}"
+    print()
+    print(header)
+    print("-" * len(header))
+    for name, r in results.items():
+        rel = r.ipc / base.ipc
+        dg0 = r.dgroup_fractions.get(0, float("nan"))
+        dg0_text = f"{dg0:6.1%}" if r.dgroup_fractions else "    --"
+        print(
+            f"{name:<28}{r.ipc:>7.3f}{(rel - 1) * 100:>+8.1f}%"
+            f"{r.l2_miss_fraction:>9.1%}{r.lower_energy_nj / 1000:>8.1f}{dg0_text:>7}"
+        )
+
+    print()
+    print("The paper's shape: NuRAPID edges out D-NUCA on performance while")
+    print("using a fraction of its L2 energy; both beat the L2/L3 base case.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Define a custom application profile and evaluate NuRAPID on it.
+
+Shows the full public workload API: build a BenchmarkProfile for a
+hypothetical application whose working set exactly straddles the 2 MB
+fastest d-group, generate its trace, and compare 4- vs 8-d-group
+NuRAPIDs — the §5.3.2 capacity/latency trade-off, on your own data.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.sim import base_config, nurapid_config
+from repro.sim.driver import run_benchmark
+from repro.workloads import generate_trace
+from repro.workloads.spec2k import SPEC2K_SUITE, BenchmarkProfile
+
+KB, MB = 1024, 1024 * 1024
+
+
+def make_profile(name: str, warm_bytes: int) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name,
+        suite="FP",
+        load_class="high",
+        table3_ipc=0.8,
+        table3_l2_apki=35.0,
+        mem_fraction=0.36,
+        hot_bytes=24 * KB,
+        warm_bytes=warm_bytes,
+        bulk_bytes=6 * MB,
+        warm_share=0.70,
+        bulk_share=0.20,
+        stream_share=0.10,
+        zipf_alpha=0.9,
+        write_fraction=0.25,
+        stream_stride=64,
+        core_ipc=3.0,
+        exposure=0.65,
+        branch_fraction=0.08,
+        mispredict_rate=0.03,
+    )
+
+
+def main() -> None:
+    # Register two synthetic applications: one whose working set fits a
+    # 2 MB d-group, one that needs more.
+    fits = make_profile("fits2mb", warm_bytes=1600 * KB)
+    spills = make_profile("spills2mb", warm_bytes=3 * MB)
+    SPEC2K_SUITE[fits.name] = fits
+    SPEC2K_SUITE[spills.name] = spills
+
+    for profile in (fits, spills):
+        trace = generate_trace(profile, 350_000, seed=1)
+        base = run_benchmark(base_config(), profile.name, trace=trace,
+                             warmup_fraction=0.4)
+        print(f"{profile.name}: warm working set "
+              f"{profile.warm_bytes // KB} KB")
+        for n in (4, 8):
+            r = run_benchmark(nurapid_config(n_dgroups=n), profile.name,
+                              trace=trace, warmup_fraction=0.4)
+            rel = (r.ipc / base.ipc - 1) * 100
+            print(f"  {n}-d-group NuRAPID: {rel:+5.1f}% vs base, "
+                  f"dg0 hits {r.dgroup_fractions.get(0, 0.0):6.1%}, "
+                  f"miss {r.l2_miss_fraction:5.1%}")
+        print()
+
+    # Leave the global suite as we found it.
+    SPEC2K_SUITE.pop(fits.name, None)
+    SPEC2K_SUITE.pop(spills.name, None)
+
+    print("A working set inside one 2 MB d-group loves the 4-d-group")
+    print("design; one that spills favours finer-grained d-groups less")
+    print("than you might expect, because 1 MB groups force more swaps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""NuRAPID: distance associativity for non-uniform cache architectures.
+
+A from-scratch reproduction of Chishti, Powell & Vijaykumar,
+"Distance Associativity for High-Performance Energy-Efficient
+Non-Uniform Cache Architectures" (MICRO 2003).
+
+Public API highlights:
+
+* :class:`repro.nurapid.NuRAPIDCache` — the paper's contribution.
+* :class:`repro.nuca.DNUCACache` — the D-NUCA baseline it is compared
+  against.
+* :func:`repro.sim.build_system` / :func:`repro.sim.run_benchmark` —
+  assemble a core + L1s + L2 (+ L3) system and replay a workload on it.
+* :mod:`repro.workloads` — the synthetic SPEC2K-like workload suite.
+* :mod:`repro.experiments` — regenerates every table and figure in the
+  paper's evaluation (``python -m repro.experiments --list``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

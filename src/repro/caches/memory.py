@@ -1,0 +1,43 @@
+"""Main-memory latency model.
+
+Table 1: "Memory latency 130 cycles + 4 cycles per 8 bytes".  A fill of
+a 128 B L2 block therefore costs 130 + 4 * 16 = 194 cycles.  Off-chip
+energy is outside the paper's cache-energy accounting, so memory
+contributes latency and traffic counts only.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessResult
+
+
+class MainMemory:
+    """Fixed-latency DRAM behind the last cache level."""
+
+    def __init__(self, base_cycles: int = 130, cycles_per_8_bytes: int = 4) -> None:
+        if base_cycles < 0 or cycles_per_8_bytes < 0:
+            raise ConfigurationError("memory latencies must be non-negative")
+        self.base_cycles = base_cycles
+        self.cycles_per_8_bytes = cycles_per_8_bytes
+        self.reads = 0
+        self.writes = 0
+
+    def transfer_cycles(self, bytes_moved: int) -> int:
+        """Latency to move ``bytes_moved`` from/to DRAM."""
+        if bytes_moved < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        beats = (bytes_moved + 7) // 8
+        return self.base_cycles + beats * self.cycles_per_8_bytes
+
+    def read(self, block_bytes: int) -> AccessResult:
+        self.reads += 1
+        return AccessResult(
+            hit=True, latency=self.transfer_cycles(block_bytes), level="memory"
+        )
+
+    def write(self, block_bytes: int) -> None:
+        """Writeback sink; off the critical path, so no latency returned."""
+        if block_bytes < 0:
+            raise ConfigurationError("block size must be non-negative")
+        self.writes += 1

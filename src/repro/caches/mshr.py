@@ -1,0 +1,94 @@
+"""Miss-status holding registers.
+
+The paper's system has 8 MSHRs on the L1 d-cache (Table 1).  MSHRs
+bound memory-level parallelism: a primary miss allocates an entry until
+its fill returns; further misses to the same block merge into the
+existing entry; when all entries are full, new misses stall.
+
+The CPU timing model uses :class:`MSHRFile` both ways: functionally
+(merging secondary misses so they are not double-charged) and
+temporally (an allocation failing at time *t* forces the core to wait
+for the earliest outstanding fill).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss."""
+
+    block_addr: int
+    issued_at: float
+    fill_at: float
+    merged: int = 0
+
+
+class MSHRFile:
+    """A fixed-size file of miss-status holding registers."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ConfigurationError(f"MSHR count must be positive, got {entries}")
+        self.capacity = entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.primary_misses = 0
+        self.merged_misses = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def retire_completed(self, now: float) -> None:
+        """Free every entry whose fill has returned by ``now``."""
+        done = [addr for addr, e in self._entries.items() if e.fill_at <= now]
+        for addr in done:
+            del self._entries[addr]
+
+    def lookup(self, block_addr: int) -> Optional[MSHREntry]:
+        """Outstanding entry for this block, if any."""
+        return self._entries.get(block_addr)
+
+    def merge(self, block_addr: int) -> MSHREntry:
+        """Attach a secondary miss to an outstanding entry."""
+        entry = self._entries.get(block_addr)
+        if entry is None:
+            raise SimulationError(f"merge on block {block_addr:#x} with no entry")
+        entry.merged += 1
+        self.merged_misses += 1
+        return entry
+
+    def earliest_fill(self) -> float:
+        """Completion time of the oldest-completing outstanding miss."""
+        if not self._entries:
+            raise SimulationError("earliest_fill on empty MSHR file")
+        return min(e.fill_at for e in self._entries.values())
+
+    def allocate(self, block_addr: int, now: float, fill_at: float) -> MSHREntry:
+        """Allocate an entry for a primary miss.
+
+        Callers must first ``retire_completed(now)`` and check ``full``;
+        allocating into a full file is a simulator bug.
+        """
+        if self.full:
+            raise SimulationError("allocate on full MSHR file")
+        if block_addr in self._entries:
+            raise SimulationError(f"duplicate MSHR allocation for {block_addr:#x}")
+        if fill_at < now:
+            raise SimulationError("fill cannot complete before it is issued")
+        entry = MSHREntry(block_addr=block_addr, issued_at=now, fill_at=fill_at)
+        self._entries[block_addr] = entry
+        self.primary_misses += 1
+        return entry
+
+    def note_full_stall(self) -> None:
+        self.full_stalls += 1

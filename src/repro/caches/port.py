@@ -1,0 +1,66 @@
+"""Busy-time scheduling for cache ports and banks.
+
+The paper's bandwidth argument (§2.3) is central: NuRAPID is one-ported
+and non-banked, so "any outstanding swaps must complete before a new
+access is initiated", while D-NUCA is multi-banked with an (idealized)
+infinite-bandwidth switched network, so requests only ever queue on
+individual banks.  Both behaviours reduce to the same primitive: a
+resource that serializes occupancy intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.errors import SimulationError
+
+
+class PortScheduler:
+    """A single serially-reusable resource (a port or a bank).
+
+    Time is measured in cycles and must be presented non-decreasingly
+    by the caller (the simulation driver's clock); occupancy requests
+    are granted at ``max(now, busy_until)``.
+    """
+
+    def __init__(self, name: str = "port") -> None:
+        self.name = name
+        self.busy_until = 0.0
+        self.total_busy = 0.0
+        self.total_wait = 0.0
+        self.grants = 0
+
+    def request(self, now: float, duration: float) -> Tuple[float, float]:
+        """Claim the resource; returns (start, finish) cycles.
+
+        ``duration`` is how long the resource stays busy; the caller's
+        observable latency may be longer (e.g. wire time after the bank
+        is released) or shorter (fire-and-forget writebacks).
+        """
+        if duration < 0:
+            raise SimulationError(f"negative occupancy {duration} on {self.name}")
+        if now < 0:
+            raise SimulationError(f"negative timestamp {now} on {self.name}")
+        start = max(now, self.busy_until)
+        finish = start + duration
+        self.busy_until = finish
+        self.total_busy += duration
+        self.total_wait += start - now
+        self.grants += 1
+        return start, finish
+
+    def wait_time(self, now: float) -> float:
+        """How long a request arriving at ``now`` would wait."""
+        return max(0.0, self.busy_until - now)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` cycles this resource was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / elapsed)
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.total_busy = 0.0
+        self.total_wait = 0.0
+        self.grants = 0

@@ -1,0 +1,329 @@
+"""Set-associative-*placement* non-uniform cache (Figure 4 baseline).
+
+This is the paper's control experiment for distance associativity
+(§5.2.1): a cache physically identical to NuRAPID (same d-group
+geometry, same sequential tag-data access, same one-ported data side)
+but with the conventional *coupling* of tag position to data position.
+With A ways over G d-groups, exactly A/G specific ways of every set
+live in each d-group, so at most A/G blocks of a hot set can ever be
+fast.
+
+Policies mirror the Figure 4 setup: initial placement in the fastest
+d-group, demotion of replaced blocks to the next slower group (a
+bubble-style chain within the set), LRU data replacement (the evicted
+block is the LRU of the slowest group's ways — which, as the paper
+notes for D-NUCA, "may not be the set's LRU block"), and next-fastest
+promotion by swapping with the LRU way of the adjacent faster group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.stats import Counter, Distribution
+from repro.common.types import AccessResult
+from repro.caches.block import block_address, set_index
+from repro.caches.port import PortScheduler
+from repro.floorplan.dgroups import NuRAPIDGeometry, build_nurapid_geometry
+from repro.tech.energy import EnergyBook
+
+
+@dataclass
+class _Way:
+    """One way of one set: its occupant and state."""
+
+    block_addr: Optional[int] = None
+    dirty: bool = False
+    #: Per-set logical timestamp of the last touch, for LRU-within-group.
+    last_touch: int = 0
+
+
+class SetAssociativePlacementCache:
+    """Non-uniform cache with tag-coupled data placement."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 8 * 1024 * 1024,
+        block_bytes: int = 128,
+        associativity: int = 8,
+        n_dgroups: int = 4,
+        geometry: Optional[NuRAPIDGeometry] = None,
+        energy: Optional[EnergyBook] = None,
+        promote: bool = True,
+        name: str = "SA-NUCA",
+    ) -> None:
+        if associativity % n_dgroups:
+            raise ConfigurationError(
+                "coupled placement needs associativity divisible by d-groups"
+            )
+        blocks = capacity_bytes // block_bytes
+        if blocks % associativity:
+            raise ConfigurationError("capacity must hold a whole number of sets")
+        self.name = name
+        self.block_bytes = block_bytes
+        self.associativity = associativity
+        self.n_dgroups = n_dgroups
+        self.ways_per_dgroup = associativity // n_dgroups
+        self.n_sets = blocks // associativity
+        self.promote = promote
+        self.geometry = geometry if geometry is not None else build_nurapid_geometry(
+            n_dgroups=n_dgroups,
+            capacity_bytes=capacity_bytes,
+            block_bytes=block_bytes,
+            associativity=associativity,
+        )
+
+        self._sets: List[List[_Way]] = [
+            [_Way() for _ in range(associativity)] for _ in range(self.n_sets)
+        ]
+        self._where: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self._clock = 0
+        self.port = PortScheduler(f"{name}.port")
+
+        self.energy = energy if energy is not None else EnergyBook()
+        geo = self.geometry
+        self.energy.register(f"{name}.tag_probe", geo.tag_energy_nj)
+        for spec in geo.dgroups:
+            self.energy.register(f"{name}.dg{spec.index}.read", spec.read_energy_nj)
+            self.energy.register(f"{name}.dg{spec.index}.write", spec.write_energy_nj)
+        for i in range(n_dgroups):
+            for j in range(n_dgroups):
+                if i != j:
+                    self.energy.register(
+                        f"{name}.move.{i}->{j}", geo.swap_energy_nj(i, j)
+                    )
+
+        self.stats = Counter()
+        self.dgroup_hits = Distribution()
+
+    # --- way/d-group mapping (the coupling under study) ---
+
+    def dgroup_of_way(self, way: int) -> int:
+        if not 0 <= way < self.associativity:
+            raise ConfigurationError(f"way {way} out of range")
+        return way // self.ways_per_dgroup
+
+    def _ways_of_dgroup(self, group: int) -> range:
+        if not 0 <= group < self.n_dgroups:
+            raise ConfigurationError(f"d-group {group} out of range")
+        start = group * self.ways_per_dgroup
+        return range(start, start + self.ways_per_dgroup)
+
+    def _set_of(self, address: int) -> int:
+        return set_index(address, self.block_bytes, self.n_sets)
+
+    # --- lookups ---
+
+    def contains(self, address: int) -> bool:
+        baddr = block_address(address, self.block_bytes)
+        return baddr in self._where[self._set_of(address)]
+
+    def dgroup_of(self, address: int) -> Optional[int]:
+        baddr = block_address(address, self.block_bytes)
+        way = self._where[self._set_of(address)].get(baddr)
+        return None if way is None else self.dgroup_of_way(way)
+
+    # --- access path ---
+
+    def access(self, address: int, is_write: bool = False, now: float = 0.0) -> AccessResult:
+        baddr = block_address(address, self.block_bytes)
+        index = self._set_of(address)
+        self.stats.add("accesses")
+        self._clock += 1
+        energy = self.energy.charge(f"{self.name}.tag_probe")
+
+        way = self._where[index].get(baddr)
+        if way is None:
+            # Sequential tag-data access: the pipelined tag probe alone
+            # determines the miss.
+            self.stats.add("misses")
+            return AccessResult(
+                hit=False,
+                latency=float(self.geometry.miss_latency()),
+                level=self.name,
+                energy_nj=energy,
+            )
+
+        group = self.dgroup_of_way(way)
+        self.stats.add("hits")
+        self.dgroup_hits.add(group)
+        slot = self._sets[index][way]
+        slot.last_touch = self._clock
+        if is_write:
+            slot.dirty = True
+        op = "write" if is_write else "read"
+        energy += self.energy.charge(f"{self.name}.dg{group}.{op}")
+        self.stats.add("dgroup_accesses")
+
+        start, _ = self.port.request(
+            now + self.geometry.tag_cycles, self.geometry.data_occupancy(group)
+        )
+        latency = (start - now) + self.geometry.dgroups[group].data_cycles
+
+        if group > 0 and self.promote:
+            self._promote(index, way, group, now + latency)
+
+        return AccessResult(
+            hit=True, latency=latency, level=self.name, dgroup=group, energy_nj=energy
+        )
+
+    def _lru_way(self, index: int, group: int, occupied_only: bool = False) -> Optional[int]:
+        """LRU way of ``group`` in ``set``; optionally only occupied ways."""
+        best: Optional[int] = None
+        best_touch = None
+        for way in self._ways_of_dgroup(group):
+            slot = self._sets[index][way]
+            if occupied_only and slot.block_addr is None:
+                continue
+            touch = (slot.block_addr is not None, slot.last_touch)
+            # Free ways sort before occupied ones, then by recency.
+            if best_touch is None or touch < best_touch:
+                best, best_touch = way, touch
+        return best
+
+    def _promote(self, index: int, way: int, group: int, now: float) -> None:
+        """Next-fastest promotion: swap with the adjacent group's LRU way."""
+        target = group - 1
+        peer = self._lru_way(index, target)
+        if peer is None:
+            raise SimulationError("d-group has no ways in this set")
+        self.stats.add("promotions")
+        self._swap_ways(index, way, peer)
+        self._charge_move(group, target, now)
+        if self._sets[index][way].block_addr is not None:
+            # A real two-way swap (the peer way was occupied).
+            self.stats.add("demotions")
+            self._charge_move(target, group, now)
+
+    def _swap_ways(self, index: int, a: int, b: int) -> None:
+        ways = self._sets[index]
+        ways[a], ways[b] = ways[b], ways[a]
+        for way in (a, b):
+            occupant = ways[way].block_addr
+            if occupant is not None:
+                self._where[index][occupant] = way
+
+    def _charge_move(self, src: int, dst: int, now: float, occupy: bool = True) -> None:
+        self.energy.charge(f"{self.name}.move.{src}->{dst}")
+        self.stats.add("dgroup_accesses", 2)
+        self.stats.add("moves")
+        if occupy:
+            self.port.request(now, self.geometry.swap_occupancy(src, dst))
+
+    # --- fills: place fastest, bubble-demote within the set ---
+
+    def fill(self, address: int, now: float = 0.0, dirty: bool = False) -> int:
+        baddr = block_address(address, self.block_bytes)
+        index = self._set_of(address)
+        if baddr in self._where[index]:
+            return 0
+        self.stats.add("fills")
+        self._clock += 1
+        writebacks = 0
+
+        # If the set is full, evict the LRU way of the slowest group
+        # (bubble data replacement: not necessarily the set's LRU).
+        if len(self._where[index]) >= self.associativity:
+            victim_way = self._lru_way(index, self.n_dgroups - 1, occupied_only=True)
+            if victim_way is None:
+                raise SimulationError("full set has an empty slowest group")
+            slot = self._sets[index][victim_way]
+            assert slot.block_addr is not None
+            del self._where[index][slot.block_addr]
+            self.stats.add("evictions")
+            if slot.dirty:
+                writebacks = 1
+                self.stats.add("writebacks")
+                group = self.dgroup_of_way(victim_way)
+                self.energy.charge(f"{self.name}.dg{group}.read")
+                self.stats.add("dgroup_accesses")
+            slot.block_addr = None
+            slot.dirty = False
+            slot.last_touch = 0
+
+        # Demotion chain toward the freed (or naturally free) way.
+        group = 0
+        carry_addr = baddr
+        carry_dirty = dirty
+        carry_touch = self._clock
+        while True:
+            way = self._lru_way(index, group)
+            if way is None:
+                raise SimulationError("d-group has no ways in this set")
+            slot = self._sets[index][way]
+            displaced = (slot.block_addr, slot.dirty, slot.last_touch)
+            slot.block_addr, slot.dirty, slot.last_touch = (
+                carry_addr,
+                carry_dirty,
+                carry_touch,
+            )
+            self._where[index][carry_addr] = way
+            if group > 0:
+                self.stats.add("demotions")
+                self._charge_move(group - 1, group, now, occupy=False)
+            if displaced[0] is None:
+                break
+            carry_addr, carry_dirty, carry_touch = displaced
+            group += 1
+            if group >= self.n_dgroups:
+                raise SimulationError("demotion chain overran the slowest group")
+
+        self.energy.charge(f"{self.name}.dg0.write")
+        self.stats.add("dgroup_accesses")
+        return writebacks
+
+    # --- prewarm ---
+
+    PREWARM_BASE = 1 << 45
+
+    def prewarm(self) -> None:
+        """Fill every way with a clean dummy block (steady-state start)."""
+        for index in range(self.n_sets):
+            for way in range(self.associativity):
+                if self._sets[index][way].block_addr is not None:
+                    continue
+                baddr = (
+                    self.PREWARM_BASE
+                    + (way * self.n_sets + index) * self.block_bytes
+                )
+                slot = self._sets[index][way]
+                slot.block_addr = baddr
+                slot.dirty = False
+                slot.last_touch = 0
+                self._where[index][baddr] = way
+
+    # --- introspection ---
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.stats.get("accesses")
+        if not total:
+            return 0.0
+        return self.stats.get("misses") / total
+
+    def reset_stats(self) -> None:
+        """Zero counters after warmup; contents and port timeline kept."""
+        self.stats.reset()
+        self.dgroup_hits = Distribution()
+        self.energy.reset_counts()
+        self.port.total_busy = 0.0
+        self.port.total_wait = 0.0
+        self.port.grants = 0
+
+    def check_invariants(self) -> None:
+        for index, ways in enumerate(self._sets):
+            where = self._where[index]
+            occupied = {
+                way
+                for way, slot in enumerate(ways)
+                if slot.block_addr is not None
+            }
+            if len(where) != len(occupied):
+                raise SimulationError(f"set {index} map/slot count mismatch")
+            for baddr, way in where.items():
+                if ways[way].block_addr != baddr:
+                    raise SimulationError(f"set {index} way {way} map mismatch")
+                if self._set_of(baddr) != index:
+                    raise SimulationError(f"block {baddr:#x} in wrong set")

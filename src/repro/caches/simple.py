@@ -1,0 +1,162 @@
+"""Conventional set-associative cache with uniform access latency.
+
+Used for the L1 i/d caches and for both levels of the paper's base
+case (1 MB 8-way L2 at 11 cycles over an 8 MB 8-way L3 at 43 cycles,
+Table 1/§4).  Placement and replacement are the classic coupled design:
+a block's way in the tag array *is* its location in the data array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.lru import LRUPolicy
+from repro.common.types import AccessResult
+from repro.caches.block import CacheBlock, block_address, set_index
+from repro.floorplan.dgroups import UniformCacheSpec
+from repro.tech.energy import EnergyBook
+
+
+class SetAssociativeCache:
+    """A uniform-latency, LRU, write-back, allocate-on-miss cache."""
+
+    def __init__(self, spec: UniformCacheSpec, energy: Optional[EnergyBook] = None) -> None:
+        blocks = spec.capacity_bytes // spec.block_bytes
+        if blocks % spec.associativity:
+            raise ConfigurationError("capacity must hold a whole number of sets")
+        self.spec = spec
+        self.name = spec.name
+        self.n_sets = blocks // spec.associativity
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigurationError("set count must be a power of two")
+        self._sets: List[Dict[int, CacheBlock]] = [dict() for _ in range(self.n_sets)]
+        self._lru: List[LRUPolicy] = [LRUPolicy() for _ in range(self.n_sets)]
+        self.energy = energy if energy is not None else EnergyBook()
+        self.energy.register(f"{self.name}.read", spec.read_energy_nj)
+        self.energy.register(f"{self.name}.write", spec.write_energy_nj)
+        self.energy.register(f"{self.name}.tag_probe", spec.tag_energy_nj)
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # --- lookups ---
+
+    def _locate(self, address: int) -> int:
+        return set_index(address, self.spec.block_bytes, self.n_sets)
+
+    def contains(self, address: int) -> bool:
+        baddr = block_address(address, self.spec.block_bytes)
+        return baddr in self._sets[self._locate(address)]
+
+    def access(self, address: int, is_write: bool = False, now: float = 0.0) -> AccessResult:
+        """Present one reference; on a miss the caller fetches and fills.
+
+        The uniform latency covers both the hit case and miss
+        determination (tag + data are probed either way in this simple
+        organization).  ``now`` is accepted for interface uniformity
+        with the banked/ported organizations but unused: the paper's
+        L1s are pipelined and the base L2/L3 are not the bandwidth
+        bottleneck under study.
+        """
+        del now
+        baddr = block_address(address, self.spec.block_bytes)
+        index = self._locate(address)
+        resident = self._sets[index]
+        op = f"{self.name}.write" if is_write else f"{self.name}.read"
+        energy = self.energy.charge(op)
+        if baddr in resident:
+            self.hits += 1
+            self._lru[index].touch(baddr)
+            if is_write:
+                resident[baddr].dirty = True
+            return AccessResult(
+                hit=True,
+                latency=self.spec.latency_cycles,
+                level=self.name,
+                energy_nj=energy,
+            )
+        self.misses += 1
+        return AccessResult(
+            hit=False,
+            latency=self.spec.latency_cycles,
+            level=self.name,
+            energy_nj=energy,
+        )
+
+    # --- fills and evictions ---
+
+    def fill(self, address: int, dirty: bool = False) -> Optional[CacheBlock]:
+        """Install a block after a miss; returns any evicted block.
+
+        Fill energy is charged as a write access.  The evicted block is
+        returned so the hierarchy can route a dirty writeback to the
+        next level.
+        """
+        baddr = block_address(address, self.spec.block_bytes)
+        index = self._locate(address)
+        resident = self._sets[index]
+        if baddr in resident:
+            # Two misses to the same block can race through the MSHR
+            # merge path; the second fill is a no-op.
+            return None
+        self.energy.charge(f"{self.name}.write")
+        victim_block: Optional[CacheBlock] = None
+        if len(resident) >= self.spec.associativity:
+            victim_addr = self._lru[index].pop_victim()
+            victim_block = resident.pop(victim_addr)
+            if victim_block.dirty:
+                self.writebacks += 1
+        resident[baddr] = CacheBlock(block_addr=baddr, dirty=dirty)
+        self._lru[index].insert(baddr)
+        return victim_block
+
+    def invalidate(self, address: int) -> Optional[CacheBlock]:
+        """Remove a block (if present) without writing it back."""
+        baddr = block_address(address, self.spec.block_bytes)
+        index = self._locate(address)
+        resident = self._sets[index]
+        if baddr not in resident:
+            return None
+        self._lru[index].remove(baddr)
+        return resident.pop(baddr)
+
+    # --- prewarm ---
+
+    PREWARM_BASE = 1 << 45
+
+    def prewarm(self) -> None:
+        """Fill every way with a clean dummy block (steady-state start)."""
+        for index in range(self.n_sets):
+            for way in range(self.spec.associativity):
+                baddr = (
+                    self.PREWARM_BASE
+                    + (way * self.n_sets + index) * self.spec.block_bytes
+                )
+                if baddr in self._sets[index]:
+                    continue
+                self._sets[index][baddr] = CacheBlock(block_addr=baddr)
+                self._lru[index].insert(baddr)
+
+    # --- introspection ---
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_stats(self) -> None:
+        """Zero counters after warmup; contents and recency are kept."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.energy.reset_counts()
+
+    def occupancy(self) -> int:
+        """Number of resident blocks (for tests and examples)."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by the simulator derive from
+:class:`ReproError` so callers can catch simulator problems without
+swallowing genuine Python bugs (``TypeError``, ``KeyError``, ...).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters.
+
+    Raised eagerly at construction time (never mid-simulation) so that
+    a bad experiment config fails before any cycles are simulated.
+    """
+
+
+class SimulationError(ReproError):
+    """An invariant was violated while a simulation was running.
+
+    This always indicates a bug in the simulator (or a hand-corrupted
+    state), never a property of the simulated workload.
+    """

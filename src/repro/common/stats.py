@@ -1,0 +1,128 @@
+"""Statistics containers used throughout the simulator.
+
+These are intentionally simple: named counters, ratio statistics
+(hits/accesses), and small integer-keyed distributions (accesses per
+d-group).  Every cache and experiment exposes its measurements through
+these types so the experiment harness can aggregate uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+class Counter:
+    """A named group of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0.0)
+
+    def names(self) -> Iterable[str]:
+        return self._counts.keys()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counts)
+
+    def merge(self, other: "Counter") -> None:
+        for name, value in other._counts.items():
+            self._counts[name] = self._counts.get(name, 0.0) + value
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counts.items()))
+        return f"Counter({inner})"
+
+
+@dataclass
+class RatioStat:
+    """Numerator/denominator pair with a safe ratio.
+
+    Used for hit rates, first-d-group fractions, and similar shares
+    where the denominator may legitimately be zero early in a run.
+    """
+
+    numerator: float = 0.0
+    denominator: float = 0.0
+
+    def record(self, success: bool, weight: float = 1.0) -> None:
+        self.denominator += weight
+        if success:
+            self.numerator += weight
+
+    @property
+    def ratio(self) -> float:
+        if self.denominator == 0:
+            return 0.0
+        return self.numerator / self.denominator
+
+    def merge(self, other: "RatioStat") -> None:
+        self.numerator += other.numerator
+        self.denominator += other.denominator
+
+
+@dataclass
+class Distribution:
+    """Counts keyed by small integers (e.g. accesses per d-group)."""
+
+    counts: Dict[int, float] = field(default_factory=dict)
+
+    def add(self, key: int, amount: float = 1.0) -> None:
+        self.counts[key] = self.counts.get(key, 0.0) + amount
+
+    @property
+    def total(self) -> float:
+        return sum(self.counts.values())
+
+    def fraction(self, key: int) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.counts.get(key, 0.0) / total
+
+    def fractions(self) -> Dict[int, float]:
+        total = self.total
+        if total == 0:
+            return {}
+        return {key: value / total for key, value in sorted(self.counts.items())}
+
+    def items(self) -> Iterable[Tuple[int, float]]:
+        return sorted(self.counts.items())
+
+    def merge(self, other: "Distribution") -> None:
+        for key, value in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0.0) + value
+
+
+def weighted_mean(values: Mapping[str, float], weights: Mapping[str, float]) -> float:
+    """Mean of ``values`` weighted by ``weights`` over their shared keys."""
+    keys = [k for k in values if k in weights]
+    if not keys:
+        raise ValueError("no shared keys between values and weights")
+    total_weight = sum(weights[k] for k in keys)
+    if total_weight == 0:
+        raise ValueError("total weight is zero")
+    return sum(values[k] * weights[k] for k in keys) / total_weight
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the conventional aggregate for relative performance."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

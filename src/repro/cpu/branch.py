@@ -1,0 +1,138 @@
+"""Branch predictors (Table 1: "2-level, hybrid, 8K entries").
+
+A faithful hybrid predictor: a bimodal (per-PC 2-bit counter) component,
+a gshare (global-history-xor-PC 2-bit counter) component, and a chooser
+table of 2-bit counters picking between them per PC.  The main timing
+loop charges mispredict penalties from rates, but this substrate is
+real and exercised by examples and tests — and by the workload module's
+branch-stream characterization, which derives each synthetic
+benchmark's mispredict rate by running its branch stream through this
+predictor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ConfigurationError
+
+
+class _CounterTable:
+    """A table of saturating 2-bit counters."""
+
+    def __init__(self, entries: int, initial: int = 1) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigurationError("table size must be a positive power of two")
+        if not 0 <= initial <= 3:
+            raise ConfigurationError("2-bit counters hold values 0..3")
+        self.entries = entries
+        self._mask = entries - 1
+        self._counters: List[int] = [initial] * entries
+
+    def index(self, key: int) -> int:
+        return key & self._mask
+
+    def predict(self, key: int) -> bool:
+        return self._counters[key & self._mask] >= 2
+
+    def update(self, key: int, taken: bool) -> None:
+        i = key & self._mask
+        if taken:
+            if self._counters[i] < 3:
+                self._counters[i] += 1
+        elif self._counters[i] > 0:
+            self._counters[i] -= 1
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit counters."""
+
+    def __init__(self, entries: int = 8192) -> None:
+        self._table = _CounterTable(entries)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        predicted = self.predict(pc)
+        self.predictions += 1
+        if predicted != taken:
+            self.mispredictions += 1
+        self._table.update(pc, taken)
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class GSharePredictor:
+    """Global history XOR PC indexing into 2-bit counters."""
+
+    def __init__(self, entries: int = 8192, history_bits: int = 12) -> None:
+        if history_bits <= 0 or history_bits > 30:
+            raise ConfigurationError("history_bits must be in [1, 30]")
+        self._table = _CounterTable(entries)
+        self.history_bits = history_bits
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _key(self, pc: int) -> int:
+        return pc ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(self._key(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        predicted = self.predict(pc)
+        self.predictions += 1
+        if predicted != taken:
+            self.mispredictions += 1
+        self._table.update(self._key(pc), taken)
+        mask = (1 << self.history_bits) - 1
+        self._history = ((self._history << 1) | int(taken)) & mask
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class HybridPredictor:
+    """Chooser-selected bimodal/gshare hybrid (the Table 1 predictor)."""
+
+    def __init__(self, entries: int = 8192, history_bits: int = 12) -> None:
+        self.bimodal = BimodalPredictor(entries)
+        self.gshare = GSharePredictor(entries, history_bits)
+        self._chooser = _CounterTable(entries)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser.predict(pc):
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_right = self.bimodal.predict(pc) == taken
+        gshare_right = self.gshare.predict(pc) == taken
+        predicted = self.predict(pc)
+        self.predictions += 1
+        if predicted != taken:
+            self.mispredictions += 1
+        # Chooser trains toward whichever component was right.
+        if gshare_right != bimodal_right:
+            self._chooser.update(pc, gshare_right)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions

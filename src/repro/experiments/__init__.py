@@ -1,0 +1,91 @@
+"""Experiment registry: one entry per paper table/figure + ablations.
+
+Run ``python -m repro.experiments --list`` for the catalogue, or
+``python -m repro.experiments all --scale quick`` to regenerate
+everything at reduced scale.
+"""
+
+from typing import Callable, Dict
+
+from repro.experiments.common import (
+    ExperimentReport,
+    FULL,
+    QUICK,
+    SMOKE,
+    Scale,
+    clear_caches,
+    scale_by_name,
+)
+
+
+def _registry() -> Dict[str, Callable[[Scale], ExperimentReport]]:
+    # Imports are local so that `import repro.experiments` stays cheap.
+    from repro.experiments import (
+        ablation_hysteresis,
+        ablation_layout,
+        ablation_leakage,
+        ablation_prefetch,
+        ablation_snuca,
+        ablations,
+        energy_delay,
+        figure4,
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        figure9,
+        figure10,
+        lru_random,
+        table2,
+        table3,
+        table4,
+    )
+
+    return {
+        "table2": table2.run,
+        "table3": table3.run,
+        "table4": table4.run,
+        "figure4": figure4.run,
+        "figure5": figure5.run,
+        "figure6": figure6.run,
+        "lru_random": lru_random.run,
+        "figure7": figure7.run,
+        "figure8": figure8.run,
+        "figure9": figure9.run,
+        "figure10": figure10.run,
+        "energy_delay": energy_delay.run,
+        "ablation_policies": ablations.run_policies,
+        "ablation_pointers": ablations.run_pointers,
+        "ablation_seqtag": ablations.run_seqtag,
+        "ablation_dnuca_insert": ablations.run_dnuca_insert,
+        "ablation_spares": ablation_layout.run_spares,
+        "ablation_ecc": ablation_layout.run_ecc,
+        "ablation_leakage": ablation_leakage.run,
+        "ablation_hysteresis": ablation_hysteresis.run,
+        "ablation_prefetch": ablation_prefetch.run,
+        "ablation_snuca": ablation_snuca.run,
+    }
+
+
+def experiment_names() -> list:
+    return list(_registry())
+
+
+def run_experiment(name: str, scale: Scale = QUICK) -> ExperimentReport:
+    registry = _registry()
+    if name not in registry:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(registry)}")
+    return registry[name](scale)
+
+
+__all__ = [
+    "ExperimentReport",
+    "FULL",
+    "QUICK",
+    "SMOKE",
+    "Scale",
+    "clear_caches",
+    "experiment_names",
+    "run_experiment",
+    "scale_by_name",
+]

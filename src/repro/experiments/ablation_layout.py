@@ -1,0 +1,113 @@
+"""Layout ablations: the quantitative version of §3's arguments.
+
+The paper argues qualitatively that D-NUCA's many small d-groups break
+three large-cache design practices: block spreading for soft-error
+tolerance, spare-subarray sharing for hard-error yield, and
+decoder/mux balance.  These experiments put numbers on the first two:
+
+* ``ablation_spares`` — manufacturing yield of the same 8 MB of
+  subarrays organized as 4 large repair domains (NuRAPID) versus 128
+  small ones (D-NUCA), across defect rates, with the same total spare
+  budget.
+* ``ablation_ecc`` — the widest adjacent-bit upset each organization
+  survives with per-64-bit-word SEC-DED, as a function of how many
+  subarrays a block spreads over.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, Scale
+from repro.tech.cacti import MiniCacti
+from repro.tech.ecc import InterleavingPlan, SECDED, protection_overhead
+from repro.floorplan.spares import yield_model
+
+
+def run_spares(scale: Scale) -> ExperimentReport:
+    del scale
+    # Subarray organization from the mini-Cacti models: a 2 MB d-group
+    # uses 64 subarrays (4 x 2MB = 256 total); a 64 KB NUCA bank uses
+    # a handful (128 banks).
+    cacti = MiniCacti()
+    dgroup = cacti.data_array(2 * 1024 * 1024, 128)
+    bank = cacti.data_array(64 * 1024, 128)
+    nurapid_total = 4 * dgroup.organization.count
+    nuca_per_bank = bank.organization.count
+    nuca_total = 128 * nuca_per_bank
+    # Same silicon budget: scale the spare pool to ~1.5% of subarrays
+    # (the Itanium II carries 2 spares per 135).
+    spare_budget = max(4, round(nurapid_total * 0.015 / 4) * 4)
+
+    rows = []
+    for defect_pct in (0.1, 0.25, 0.5, 1.0, 2.0):
+        p = defect_pct / 100.0
+        few = yield_model(4, nurapid_total // 4, spare_budget // 4, p)
+        # D-NUCA: the same spares divided over 128 domains rounds to
+        # zero per bank for realistic budgets; give each bank the
+        # fractional expectation rounded down (usually 0).
+        per_bank_spares = spare_budget // 128
+        many = yield_model(128, nuca_per_bank, per_bank_spares, p)
+        rows.append(
+            {
+                "defect rate": f"{defect_pct}%",
+                "NuRAPID yield (4 domains)": round(few, 4),
+                "D-NUCA yield (128 domains)": round(many, 4),
+            }
+        )
+    return ExperimentReport(
+        experiment="ablation_spares",
+        title="Manufacturing yield: few large vs many small repair domains",
+        paper_expectation=(
+            "§3.2: a spare subarray cannot be shared across NUCA's d-groups "
+            "(no common row addresses or latency), so the many-small layout "
+            "loses yield rapidly as defect rates rise"
+        ),
+        rows=rows,
+        summary={
+            "NuRAPID subarrays": nurapid_total,
+            "D-NUCA subarrays": nuca_total,
+            "total spares": spare_budget,
+        },
+        notes="binomial yield per domain; same total spare budget for both",
+    )
+
+
+def run_ecc(scale: Scale) -> ExperimentReport:
+    del scale
+    total_bits, overhead = protection_overhead(128, word_bits=64)
+    code = SECDED(64)
+    rows = []
+    spreads = (
+        (1, "single subarray"),
+        (4, "NUCA bank spread (64KB, few tiles)"),
+        (16, "small d-group"),
+        (64, "NuRAPID 2MB d-group"),
+        (128, "Itanium-class full spread"),
+    )
+    for subarrays, label in spreads:
+        plan = InterleavingPlan(
+            words=16, word_bits=code.codeword_bits, subarrays=subarrays
+        )
+        rows.append(
+            {
+                "block spread": label,
+                "subarrays": subarrays,
+                "max bits/word in one subarray": plan.bits_per_word_per_subarray(),
+                "survives whole-subarray loss": plan.survives_subarray_loss(),
+                "widest adjacent upset (cells)": plan.widest_correctable_adjacent_upset(),
+            }
+        )
+    return ExperimentReport(
+        experiment="ablation_ecc",
+        title="Soft-error tolerance vs block spreading (SEC-DED per 64b word)",
+        paper_expectation=(
+            "§3.1/§3.3: spreading a block over many subarrays keeps a "
+            "multi-bit particle strike within one correctable bit per word; "
+            "NUCA's small d-groups constrain the spread"
+        ),
+        rows=rows,
+        summary={
+            "ECC bits per 128B block": total_bits,
+            "storage overhead": round(overhead, 4),
+            "codeword bits per 64b word": code.codeword_bits,
+        },
+    )

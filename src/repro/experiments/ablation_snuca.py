@@ -1,0 +1,45 @@
+"""S-NUCA ablation: static vs managed non-uniformity.
+
+Kim et al.'s S-NUCA maps each set to one fixed bank: it gets the
+average of the non-uniform latencies with none of the placement
+intelligence.  Comparing base / S-NUCA / D-NUCA / NuRAPID separates
+how much gain comes from *having* non-uniform banks at all versus
+from *managing* where data sits — the question the whole NUCA line of
+work turns on.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, Scale, cached_run, pct
+from repro.nuca.config import SearchPolicy
+from repro.sim.config import base_config, dnuca_config, nurapid_config, snuca_config
+
+SUBSET = ["art", "galgel", "twolf", "wupwise"]
+
+
+def run(scale: Scale) -> ExperimentReport:
+    configs = {
+        "s-nuca (static)": snuca_config(),
+        "d-nuca (bubble)": dnuca_config(policy=SearchPolicy.SS_PERFORMANCE),
+        "nurapid (distance-assoc)": nurapid_config(),
+    }
+    base = base_config()
+    rows = []
+    for benchmark in SUBSET:
+        base_run = cached_run(base, benchmark, scale)
+        row = {"benchmark": benchmark}
+        for label, config in configs.items():
+            r = cached_run(config, benchmark, scale)
+            row[label] = pct(r.ipc / base_run.ipc)
+        rows.append(row)
+    return ExperimentReport(
+        experiment="ablation_snuca",
+        title="Static vs managed non-uniformity (vs base hierarchy)",
+        paper_expectation=(
+            "the NUCA lineage's premise: static mapping wastes the fast "
+            "banks on whatever address bits land there; dynamic movement "
+            "(D-NUCA) helps; decoupled placement (NuRAPID) helps most"
+        ),
+        rows=rows,
+        notes=f"benchmarks: {', '.join(SUBSET)}",
+    )

@@ -1,0 +1,206 @@
+"""Shared infrastructure for the experiment suite.
+
+Experiments share traces and run results through in-process caches so
+that e.g. Figures 5–9, which all need the base system's runs, pay for
+them once.  Every experiment returns an :class:`ExperimentReport` that
+renders to the same aligned-text table the paper's figure/table would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_benchmark
+from repro.sim.results import RunResult
+from repro.workloads.spec2k import get_benchmark
+from repro.workloads.trace import Trace
+from repro.workloads.tracegen import generate_trace
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How much work an experiment run does."""
+
+    name: str
+    n_references: int
+    warmup_fraction: float
+    seed: int = 1
+
+
+FULL = Scale(name="full", n_references=2_000_000, warmup_fraction=0.5)
+QUICK = Scale(name="quick", n_references=500_000, warmup_fraction=0.45)
+SMOKE = Scale(name="smoke", n_references=60_000, warmup_fraction=0.3)
+
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+_RUN_CACHE: Dict[Tuple[str, str, int, float, int], RunResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop cached traces and runs (tests use this for isolation)."""
+    _TRACE_CACHE.clear()
+    _RUN_CACHE.clear()
+
+
+def shared_trace(benchmark: str, scale: Scale) -> Trace:
+    """The benchmark's trace at this scale, generated at most once.
+
+    Set ``REPRO_TRACE_CACHE=/some/dir`` to also persist traces to disk
+    (as ``.npz``), so repeated full-scale experiment runs skip
+    generation entirely.
+    """
+    key = (benchmark, scale.n_references, scale.seed)
+    if key not in _TRACE_CACHE:
+        cache_dir = os.environ.get("REPRO_TRACE_CACHE")
+        path = None
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+            path = os.path.join(
+                cache_dir,
+                f"{benchmark}-{scale.n_references}-{scale.seed}.npz",
+            )
+            if os.path.exists(path):
+                _TRACE_CACHE[key] = Trace.load(path)
+                return _TRACE_CACHE[key]
+        trace = generate_trace(
+            get_benchmark(benchmark), scale.n_references, seed=scale.seed
+        )
+        if path:
+            trace.save(path)
+        _TRACE_CACHE[key] = trace
+    return _TRACE_CACHE[key]
+
+
+def cached_run(config: SystemConfig, benchmark: str, scale: Scale) -> RunResult:
+    """Run (benchmark, config) at a scale, memoized on the config name.
+
+    Config names encode every policy knob (see
+    :mod:`repro.sim.config`), so the name is a safe cache key within
+    one process.
+    """
+    key = (config.name, benchmark, scale.n_references, scale.warmup_fraction, scale.seed)
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = run_benchmark(
+            config,
+            benchmark,
+            trace=shared_trace(benchmark, scale),
+            warmup_fraction=scale.warmup_fraction,
+            seed=scale.seed,
+        )
+    return _RUN_CACHE[key]
+
+
+def run_matrix(
+    configs: List[SystemConfig], benchmarks: List[str], scale: Scale
+) -> Dict[str, Dict[str, RunResult]]:
+    """results[config.name][benchmark] for a config x benchmark grid."""
+    return {
+        config.name: {b: cached_run(config, b, scale) for b in benchmarks}
+        for config in configs
+    }
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated table or figure."""
+
+    experiment: str
+    title: str
+    paper_expectation: str
+    rows: List[Dict[str, object]]
+    columns: Optional[List[str]] = None
+    notes: str = ""
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def column_order(self) -> List[str]:
+        if self.columns:
+            return self.columns
+        if not self.rows:
+            return []
+        order: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in order:
+                    order.append(key)
+        return order
+
+    def to_text(self) -> str:
+        """Aligned-text rendering: header, rows, summary, expectation."""
+        lines = [f"== {self.experiment}: {self.title} =="]
+        cols = self.column_order()
+        if cols:
+            widths = {
+                c: max(len(c), *(len(_fmt(r.get(c, ""))) for r in self.rows))
+                for c in cols
+            }
+            lines.append("  ".join(c.ljust(widths[c]) for c in cols))
+            for row in self.rows:
+                lines.append(
+                    "  ".join(_fmt(row.get(c, "")).ljust(widths[c]) for c in cols)
+                )
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                lines.append(f"  {key}: {_fmt(value)}")
+        lines.append("")
+        lines.append(f"paper: {self.paper_expectation}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "paper_expectation": self.paper_expectation,
+                "rows": self.rows,
+                "summary": self.summary,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def scale_by_name(name: str) -> Scale:
+    scales = {"full": FULL, "quick": QUICK, "smoke": SMOKE}
+    try:
+        return scales[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; choose from {sorted(scales)}"
+        ) from None
+
+
+def pct(ratio: float) -> str:
+    """Render a relative-performance ratio as a signed percentage."""
+    return f"{(ratio - 1.0) * 100:+.1f}%"
+
+
+def fraction_row(result: RunResult, n_groups: int) -> Dict[str, object]:
+    """dg0..dgN hit fractions plus the miss fraction for one run."""
+    row: Dict[str, object] = {}
+    for g in range(n_groups):
+        row[f"dg{g}"] = round(result.dgroup_fractions.get(g, 0.0), 3)
+    row["miss"] = round(result.l2_miss_fraction, 3)
+    return row
+
+
+def mean_over(rows: List[Dict[str, object]], keys: List[str]) -> Dict[str, float]:
+    """Arithmetic mean of numeric columns across rows."""
+    if not rows:
+        raise ConfigurationError("no rows to average")
+    return {
+        k: sum(float(r.get(k, 0.0)) for r in rows) / len(rows) for k in keys
+    }

@@ -1,0 +1,63 @@
+"""§5.4.2: processor energy-delay.
+
+Whole-processor energy (Wattch-style core + L1s + L2/L3 books) times
+delay, relative to the base hierarchy.  The paper: NuRAPID improves
+processor energy-delay by ~7% over both the base case and D-NUCA —
+against base the gain is mostly delay; against D-NUCA mostly energy.
+D-NUCA is taken at its best for each axis (ss-performance for delay,
+ss-energy for energy), matching the paper's separately-optimal
+treatment; for the ED product we report both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, Scale, cached_run
+from repro.nuca.config import SearchPolicy
+from repro.sim.config import base_config, dnuca_config, nurapid_config
+from repro.workloads.spec2k import suite_names
+
+
+def run(scale: Scale) -> ExperimentReport:
+    configs = {
+        "base": base_config(),
+        "dnuca-ss-perf": dnuca_config(policy=SearchPolicy.SS_PERFORMANCE),
+        "dnuca-ss-energy": dnuca_config(policy=SearchPolicy.SS_ENERGY),
+        "nurapid": nurapid_config(),
+    }
+    rows = []
+    ed_ratio = {label: [] for label in configs if label != "base"}
+    for benchmark in suite_names():
+        base_run = cached_run(configs["base"], benchmark, scale)
+        row = {"benchmark": benchmark}
+        for label, config in configs.items():
+            if label == "base":
+                continue
+            r = cached_run(config, benchmark, scale)
+            ratio = r.energy_delay / base_run.energy_delay
+            ed_ratio[label].append(ratio)
+            row[f"{label} ED"] = round(ratio, 3)
+        rows.append(row)
+
+    n = len(suite_names())
+    summary = {
+        f"{label} mean ED vs base": sum(values) / n
+        for label, values in ed_ratio.items()
+    }
+    best_dnuca = min(
+        summary["dnuca-ss-perf mean ED vs base"],
+        summary["dnuca-ss-energy mean ED vs base"],
+    )
+    summary["nurapid ED vs best dnuca"] = (
+        summary["nurapid mean ED vs base"] / best_dnuca
+    )
+
+    return ExperimentReport(
+        experiment="energy_delay",
+        title="Processor energy-delay relative to base",
+        paper_expectation=(
+            "NuRAPID ~7% better energy-delay than both the base hierarchy "
+            "and D-NUCA (ED ratio ~0.93)"
+        ),
+        rows=rows,
+        summary=summary,
+    )

@@ -1,0 +1,56 @@
+"""Figure 4: set-associative vs distance-associative placement.
+
+Both caches are 8 MB, 8-way, 4 x 2 MB d-groups, place new blocks in
+the fastest group, demote to the next slower group, and promote
+next-fastest; the only difference is the coupling of data placement to
+tag position.  The paper: 74% of accesses hit the first d-group under
+set-associative placement vs 86% under distance-associative placement,
+and the SA cache sends 8% of accesses to the last two d-groups vs 2%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    fraction_row,
+    mean_over,
+)
+from repro.sim.config import nurapid_config, sa_nuca_config
+from repro.workloads.spec2k import suite_names
+
+N_GROUPS = 4
+
+
+def run(scale: Scale) -> ExperimentReport:
+    configs = {"set-assoc": sa_nuca_config(), "dist-assoc": nurapid_config()}
+    rows = []
+    per_config = {label: [] for label in configs}
+    for benchmark in suite_names():
+        for label, config in configs.items():
+            result = cached_run(config, benchmark, scale)
+            row = {"benchmark": benchmark, "placement": label}
+            row.update(fraction_row(result, N_GROUPS))
+            rows.append(row)
+            per_config[label].append(row)
+
+    keys = [f"dg{g}" for g in range(N_GROUPS)] + ["miss"]
+    summary = {}
+    for label in configs:
+        means = mean_over(per_config[label], keys)
+        summary[f"{label} first-group"] = means["dg0"]
+        summary[f"{label} last-two-groups"] = means["dg2"] + means["dg3"]
+        summary[f"{label} miss"] = means["miss"]
+
+    return ExperimentReport(
+        experiment="figure4",
+        title="Distribution of d-group accesses: SA vs DA placement",
+        paper_expectation=(
+            "set-associative placement: 74% first d-group, 8% in the last "
+            "two; distance-associative: 86% first d-group, 2% in the last two"
+        ),
+        rows=rows,
+        summary=summary,
+        notes="same geometry and policies; only the tag/data coupling differs",
+    )

@@ -1,0 +1,59 @@
+"""§5.3.1: random vs true-LRU distance replacement.
+
+The paper reports no figure, only the numbers: with demotion-only,
+perfect LRU keeps 64% of accesses in the first d-group vs 54% for
+random (random's accidental demotions are unrecoverable); with
+next-fastest promotion, LRU reaches 87% vs random's 84% — promotion
+compensates for random's errors, which is why the shipped NuRAPID uses
+random.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, Scale, cached_run, mean_over
+from repro.nurapid.config import DistanceReplacementKind, PromotionPolicy
+from repro.sim.config import nurapid_config
+from repro.workloads.spec2k import suite_names
+
+
+def run(scale: Scale) -> ExperimentReport:
+    variants = {
+        (promo, kind): nurapid_config(promotion=promo, distance_replacement=kind)
+        for promo in (PromotionPolicy.DEMOTION_ONLY, PromotionPolicy.NEXT_FASTEST)
+        for kind in (
+            DistanceReplacementKind.RANDOM,
+            DistanceReplacementKind.LRU,
+            DistanceReplacementKind.APPROX_LRU,
+        )
+    }
+    rows = []
+    buckets = {key: [] for key in variants}
+    for benchmark in suite_names():
+        for (promo, kind), config in variants.items():
+            result = cached_run(config, benchmark, scale)
+            row = {
+                "benchmark": benchmark,
+                "promotion": promo.value,
+                "distance repl": kind.value,
+                "dg0": round(result.dgroup_fractions.get(0, 0.0), 3),
+            }
+            rows.append(row)
+            buckets[(promo, kind)].append(row)
+
+    summary = {}
+    for (promo, kind), bucket in buckets.items():
+        summary[f"{promo.value}/{kind.value} first-group"] = mean_over(
+            bucket, ["dg0"]
+        )["dg0"]
+
+    return ExperimentReport(
+        experiment="lru_random",
+        title="Random vs LRU distance replacement (first-d-group share)",
+        paper_expectation=(
+            "demotion-only: 64% (LRU) vs 54% (random); next-fastest: 87% "
+            "(LRU) vs 84% (random) — promotion repairs random's mistakes"
+        ),
+        rows=rows,
+        notes="approx-lru (clock) included beyond the paper as an ablation",
+        summary=summary,
+    )

@@ -1,0 +1,111 @@
+"""ASCII rendering of the paper's stacked-bar figures.
+
+The experiment reports are tables; for the distribution figures
+(4, 5, 7) a visual form communicates the shape better.  These helpers
+render horizontal stacked bars with one character class per d-group —
+the terminal equivalent of the paper's Figure 4/5/7 charts — and
+simple horizontal bar charts for the relative-performance figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: Fill characters per stacked segment, fastest d-group first; misses
+#: render as '#'.  Mirrors the paper's white-to-black shading.
+SEGMENT_CHARS = " .:=oO%@"
+MISS_CHAR = "#"
+
+
+def stacked_bar(
+    fractions: Sequence[float], miss: float, width: int = 50
+) -> str:
+    """One stacked bar: d-group fractions then the miss share."""
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    if any(f < 0 for f in fractions) or miss < 0:
+        raise ConfigurationError("fractions must be non-negative")
+    total = sum(fractions) + miss
+    if total > 1.0 + 1e-6:
+        raise ConfigurationError(f"fractions sum to {total} > 1")
+    cells: List[str] = []
+    for index, fraction in enumerate(fractions):
+        char = SEGMENT_CHARS[min(index, len(SEGMENT_CHARS) - 1)]
+        cells.extend(char * int(round(fraction * width)))
+    cells.extend(MISS_CHAR * int(round(miss * width)))
+    bar = "".join(cells)[:width]
+    return "[" + bar.ljust(width) + "]"
+
+
+def distribution_chart(
+    rows: Mapping[str, Tuple[Sequence[float], float]],
+    width: int = 50,
+    legend_groups: int = 4,
+) -> str:
+    """Multi-row stacked-bar chart keyed by benchmark (or config) name.
+
+    ``rows`` maps a label to (d-group fractions, miss fraction).
+    """
+    if not rows:
+        raise ConfigurationError("nothing to chart")
+    label_width = max(len(label) for label in rows)
+    lines = []
+    for label, (fractions, miss) in rows.items():
+        lines.append(
+            f"{label:<{label_width}} {stacked_bar(fractions, miss, width)}"
+        )
+    legend = "  ".join(
+        f"dg{g}='{SEGMENT_CHARS[min(g, len(SEGMENT_CHARS) - 1)]}'"
+        for g in range(legend_groups)
+    )
+    lines.append(f"{'':<{label_width}} legend: {legend}  miss='{MISS_CHAR}'")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    baseline: float = 1.0,
+    width: int = 40,
+    fmt: str = "{:+.1%}",
+) -> str:
+    """Horizontal bars of deviation from a baseline (relative perf).
+
+    Positive deviations grow right of the axis, negative to the left.
+    """
+    if not values:
+        raise ConfigurationError("nothing to chart")
+    deviations = {k: v - baseline for k, v in values.items()}
+    span = max(0.001, max(abs(d) for d in deviations.values()))
+    label_width = max(len(k) for k in values)
+    half = width // 2
+    lines = []
+    for label, deviation in deviations.items():
+        cells = int(round(abs(deviation) / span * half))
+        if deviation >= 0:
+            bar = " " * half + "|" + "#" * cells + " " * (half - cells)
+        else:
+            bar = " " * (half - cells) + "#" * cells + "|" + " " * half
+        lines.append(f"{label:<{label_width}} {bar} {fmt.format(deviation)}")
+    return "\n".join(lines)
+
+
+def render_figure_distribution(
+    report_rows: List[Dict[str, object]],
+    group_keys: List[str],
+    label_keys: List[str],
+    width: int = 50,
+) -> str:
+    """Render an ExperimentReport's rows as a distribution chart.
+
+    ``group_keys`` name the d-group fraction columns (e.g. ["dg0",
+    "dg1", ...]); ``label_keys`` are joined to label each bar.
+    """
+    rows: Dict[str, Tuple[List[float], float]] = {}
+    for row in report_rows:
+        label = " ".join(str(row[k]) for k in label_keys if k in row)
+        fractions = [float(row.get(k, 0.0)) for k in group_keys]
+        miss = float(row.get("miss", 0.0))
+        rows[label] = (fractions, miss)
+    return distribution_chart(rows, width=width, legend_groups=len(group_keys))

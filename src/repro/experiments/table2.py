@@ -1,0 +1,76 @@
+"""Table 2: example cache energies in nJ.
+
+Pure technology-model output — no workload simulation.  Reports the
+same rows as the paper's Table 2 next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, Scale
+from repro.floorplan.dgroups import (
+    build_dnuca_geometry,
+    build_nurapid_geometry,
+    build_uniform_cache_spec,
+)
+
+#: The paper's Table 2, for side-by-side comparison.
+PAPER_VALUES = {
+    "closest of 4 2MB d-groups": 0.42,
+    "farthest of 4 2MB d-groups": 3.3,
+    "closest of 8 1MB d-groups": 0.40,
+    "farthest of 8 1MB d-groups": 4.6,
+    "closest 64KB NUCA d-group": 0.18,
+    "average other 64KB NUCA d-groups": None,  # value lost in the scan
+    "16-way NUCA ss-array access": 0.19,
+    "2 ports of 64KB 2-way L1": 0.57,
+}
+
+
+def run(scale: Scale) -> ExperimentReport:
+    del scale  # technology-only; no simulation scale involved
+    rows = []
+
+    def add(operation: str, measured: float) -> None:
+        paper = PAPER_VALUES.get(operation)
+        rows.append(
+            {
+                "operation (tag + access)": operation,
+                "measured nJ": round(measured, 3),
+                "paper nJ": paper if paper is not None else "n/a",
+            }
+        )
+
+    four = build_nurapid_geometry(n_dgroups=4)
+    add("closest of 4 2MB d-groups", four.dgroups[0].read_energy_nj + four.tag_energy_nj)
+    add("farthest of 4 2MB d-groups", four.dgroups[-1].read_energy_nj + four.tag_energy_nj)
+
+    eight = build_nurapid_geometry(n_dgroups=8)
+    add("closest of 8 1MB d-groups", eight.dgroups[0].read_energy_nj + eight.tag_energy_nj)
+    add("farthest of 8 1MB d-groups", eight.dgroups[-1].read_energy_nj + eight.tag_energy_nj)
+
+    nuca = build_dnuca_geometry()
+    closest = min(nuca.banks, key=lambda b: b.latency_cycles)
+    others = [b for b in nuca.banks if b.index != closest.index]
+    add("closest 64KB NUCA d-group", closest.read_energy_nj)
+    add(
+        "average other 64KB NUCA d-groups",
+        sum(b.read_energy_nj for b in others) / len(others),
+    )
+    add("16-way NUCA ss-array access", nuca.ss_energy_nj)
+
+    l1 = build_uniform_cache_spec(
+        "L1", 64 * 1024, 32, 2, latency_cycles=3, sequential_tag_data=False,
+        ports=2, energy_factor=6.4,
+    )
+    add("2 ports of 64KB 2-way L1", l1.read_energy_nj)
+
+    return ExperimentReport(
+        experiment="table2",
+        title="Example cache energies (nJ)",
+        paper_expectation=(
+            "0.42 / 3.3 nJ for closest/farthest of 4 2MB d-groups; 0.40 / 4.6 "
+            "for 8 1MB d-groups; 0.18 closest NUCA bank; 0.19 ss-array; 0.57 L1"
+        ),
+        rows=rows,
+        notes="mini-Cacti at 70nm; paper used a modified Cacti 3",
+    )

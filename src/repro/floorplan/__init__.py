@@ -1,0 +1,42 @@
+"""Floorplanning: where arrays sit and how far signals travel.
+
+The paper's central physical argument (§3) is that access latency of
+distant subarrays is dominated by wire, so *where* a d-group or bank
+sits on the die determines its latency and routing energy.  This
+package turns :mod:`repro.tech` array models into placed layouts:
+
+* :mod:`repro.floorplan.geometry` — rectangles and Manhattan routing,
+* :mod:`repro.floorplan.layout` — the L-shaped NuRAPID floorplan
+  (Figure 3b) and the rectangular D-NUCA bank grid (Figure 3a),
+* :mod:`repro.floorplan.dgroups` — the latency/energy tables consumed
+  by the cache models (the substrate behind Tables 2 and 4).
+"""
+
+from repro.floorplan.geometry import Point, Rect, manhattan_distance
+from repro.floorplan.spares import RepairDomain, SpareManager, yield_model
+from repro.floorplan.layout import DNUCAFloorplan, NuRAPIDFloorplan
+from repro.floorplan.dgroups import (
+    BankSpec,
+    DGroupSpec,
+    DNUCAGeometry,
+    NuRAPIDGeometry,
+    build_dnuca_geometry,
+    build_nurapid_geometry,
+)
+
+__all__ = [
+    "BankSpec",
+    "RepairDomain",
+    "SpareManager",
+    "yield_model",
+    "DGroupSpec",
+    "DNUCAFloorplan",
+    "DNUCAGeometry",
+    "NuRAPIDFloorplan",
+    "NuRAPIDGeometry",
+    "Point",
+    "Rect",
+    "build_dnuca_geometry",
+    "build_nurapid_geometry",
+    "manhattan_distance",
+]

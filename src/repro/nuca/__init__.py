@@ -1,0 +1,22 @@
+"""D-NUCA baseline (Kim et al., ASPLOS '02) as configured by the paper.
+
+The comparison target of §5.4: an 8 MB, 16-way dynamic-NUCA L2 built
+from 128 x 64 KB banks (8 bank-"d-groups" per set, i.e. a chain of 8
+banks holding 2 ways each), with:
+
+* parallel tag-data access inside each bank,
+* a *smart-search* array caching 7 low-order tag bits per way,
+* ``ss-performance`` (multicast all banks, early miss detection) and
+  ``ss-energy`` (probe partial-tag candidates nearest-first) policies,
+* bubble (generational) promotion on hits and tail insertion on fills,
+* multibanked operation with per-bank contention and an idealized
+  infinite-bandwidth, zero-energy switched network (§4's deliberate
+  advantage to D-NUCA).
+"""
+
+from repro.nuca.config import DNUCAConfig, SearchPolicy
+from repro.nuca.smart_search import SmartSearchArray
+from repro.nuca.cache import DNUCACache
+from repro.nuca.snuca import SNUCACache
+
+__all__ = ["DNUCACache", "DNUCAConfig", "SNUCACache", "SearchPolicy", "SmartSearchArray"]

@@ -1,0 +1,413 @@
+"""The D-NUCA cache model.
+
+Organization (§4): the 16 ways of each set spread across a *chain* of
+``chain_length`` banks at increasing distance, ``ways_per_bank`` ways
+in each.  Blocks enter at the tail (slowest bank), bubble one bank
+closer on each hit, and are evicted from the slowest ways — so, as the
+paper notes, the victim "may not be the set's LRU block".
+
+Bandwidth model: every bank has its own port (multibanking); the
+switched network has infinite bandwidth and zero switch energy — both
+idealizations the paper grants D-NUCA (§4).  Searches therefore queue
+only at banks, but *every* searched bank is occupied by its probe,
+which is exactly the artificial bandwidth demand §2.3 argues NuRAPID
+removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.stats import Counter, Distribution
+from repro.common.types import AccessResult
+from repro.caches.block import block_address, set_index
+from repro.caches.port import PortScheduler
+from repro.floorplan.dgroups import DNUCAGeometry, build_dnuca_geometry
+from repro.nuca.config import DNUCAConfig, SearchPolicy
+from repro.nuca.smart_search import SmartSearchArray
+from repro.tech.energy import EnergyBook
+
+
+@dataclass
+class _Slot:
+    """One way of one set."""
+
+    block_addr: int
+    dirty: bool
+    last_touch: int
+
+
+class DNUCACache:
+    """Dynamic NUCA L2 implementing the lower-level protocol."""
+
+    def __init__(
+        self,
+        config: DNUCAConfig,
+        geometry: Optional[DNUCAGeometry] = None,
+        energy: Optional[EnergyBook] = None,
+    ) -> None:
+        self.config = config
+        self.name = config.name
+        self.block_bytes = config.block_bytes
+        self.geometry = geometry if geometry is not None else build_dnuca_geometry(
+            capacity_bytes=config.capacity_bytes,
+            block_bytes=config.block_bytes,
+            associativity=config.associativity,
+            bank_bytes=config.bank_bytes,
+            chain_length=config.chain_length,
+            ss_partial_bits=config.ss_partial_bits,
+        )
+        if self.geometry.chain_length != config.chain_length:
+            raise ConfigurationError("geometry and config disagree on chain length")
+        if self.geometry.sets != config.n_sets:
+            raise ConfigurationError("geometry and config disagree on sets")
+
+        self.n_sets = config.n_sets
+        self.ways_per_bank = config.ways_per_bank
+        #: per set: position -> slot; position p is level p // ways_per_bank.
+        self._slots: List[List[Optional[_Slot]]] = [
+            [None] * config.associativity for _ in range(self.n_sets)
+        ]
+        self._where: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self._clock = 0
+        self._ports = [PortScheduler(f"{self.name}.bank{i}") for i in range(self.geometry.n_banks)]
+
+        self.smart_search = SmartSearchArray(
+            self.n_sets, config.chain_length, config.ss_partial_bits, config.block_bytes
+        )
+        self.energy = energy if energy is not None else EnergyBook()
+        self._register_energy()
+
+        self.stats = Counter()
+        self.dgroup_hits = Distribution()
+
+    def _register_energy(self) -> None:
+        self.energy.register(f"{self.name}.ss_probe", self.geometry.ss_energy_nj)
+        for bank in self.geometry.banks:
+            base = f"{self.name}.bank{bank.index}"
+            self.energy.register(f"{base}.probe", bank.probe_energy_nj)
+            self.energy.register(f"{base}.read", bank.read_energy_nj)
+            self.energy.register(f"{base}.write", bank.write_energy_nj)
+            self.energy.register(f"{base}.move", bank.swap_energy_nj)
+
+    # --- geometry helpers ---
+
+    def _set_of(self, address: int) -> int:
+        return set_index(address, self.block_bytes, self.n_sets)
+
+    def _chain_of(self, index: int) -> int:
+        return index % self.geometry.n_chains
+
+    def _bank_of(self, index: int, level: int):
+        return self.geometry.chain_bank(self._chain_of(index), level)
+
+    def _level_of_position(self, position: int) -> int:
+        return position // self.ways_per_bank
+
+    # --- lookups ---
+
+    def contains(self, address: int) -> bool:
+        baddr = block_address(address, self.block_bytes)
+        return baddr in self._where[self._set_of(address)]
+
+    def level_of(self, address: int) -> Optional[int]:
+        baddr = block_address(address, self.block_bytes)
+        pos = self._where[self._set_of(address)].get(baddr)
+        return None if pos is None else self._level_of_position(pos)
+
+    # --- the access path ---
+
+    def access(self, address: int, is_write: bool = False, now: float = 0.0) -> AccessResult:
+        baddr = block_address(address, self.block_bytes)
+        index = self._set_of(address)
+        self.stats.add("accesses")
+        self._clock += 1
+
+        policy = self.config.policy
+        energy = 0.0
+        if policy is not SearchPolicy.INCREMENTAL:
+            energy += self.energy.charge(f"{self.name}.ss_probe")
+            candidates = self.smart_search.candidate_levels(index, baddr)
+        else:
+            candidates = list(range(self.config.chain_length))
+
+        pos = self._where[index].get(baddr)
+        actual_level = None if pos is None else self._level_of_position(pos)
+
+        if policy is SearchPolicy.SS_PERFORMANCE:
+            result = self._access_multicast(
+                index, baddr, actual_level, candidates, now, energy
+            )
+        else:
+            result = self._access_sequential(
+                index, baddr, actual_level, candidates, now, energy, policy
+            )
+
+        if result.hit:
+            assert pos is not None and actual_level is not None
+            self.stats.add("hits")
+            self.dgroup_hits.add(actual_level)
+            slot = self._slots[index][pos]
+            assert slot is not None
+            slot.last_touch = self._clock
+            if is_write:
+                slot.dirty = True
+            if actual_level > 0 and self.config.promote_on_hit:
+                self._promote(index, pos, now + result.latency)
+        else:
+            self.stats.add("misses")
+        return result
+
+    def _access_multicast(
+        self,
+        index: int,
+        baddr: int,
+        actual_level: Optional[int],
+        candidates: List[int],
+        now: float,
+        energy: float,
+    ) -> AccessResult:
+        """ss-performance: search every bank; ss-array detects misses early."""
+        if actual_level is None and not candidates:
+            # Early miss: no partial match, no bank is touched for data,
+            # but the multicast has already gone out in this policy.
+            self.stats.add("early_misses")
+            latency = float(self.geometry.ss_latency_cycles)
+            for level in range(self.config.chain_length):
+                self._probe_bank(index, level, now)
+            return AccessResult(
+                hit=False, latency=latency, level=self.name, energy_nj=energy
+            )
+
+        worst = 0.0
+        for level in range(self.config.chain_length):
+            bank = self._bank_of(index, level)
+            start, _ = self._ports[bank.index].request(now, bank.occupancy_cycles)
+            if level == actual_level:
+                energy += self.energy.charge(f"{self.name}.bank{bank.index}.read")
+                self.stats.add("dgroup_accesses")
+                hit_response = (start - now) + bank.latency_cycles
+            else:
+                energy += self.energy.charge(f"{self.name}.bank{bank.index}.probe")
+                self.stats.add("bank_probes")
+            worst = max(worst, (start - now) + bank.latency_cycles)
+
+        if actual_level is not None:
+            return AccessResult(
+                hit=True,
+                latency=hit_response,
+                level=self.name,
+                dgroup=actual_level,
+                energy_nj=energy,
+            )
+        # Partial match that wasn't the block: the miss is known only
+        # when the slowest probe returns.
+        self.smart_search.note_false_hit()
+        self.stats.add("false_hits")
+        return AccessResult(hit=False, latency=worst, level=self.name, energy_nj=energy)
+
+    def _access_sequential(
+        self,
+        index: int,
+        baddr: int,
+        actual_level: Optional[int],
+        candidates: List[int],
+        now: float,
+        energy: float,
+        policy: SearchPolicy,
+    ) -> AccessResult:
+        """ss-energy / incremental: probe candidate banks nearest first."""
+        elapsed = float(self.geometry.ss_latency_cycles) if policy is SearchPolicy.SS_ENERGY else 0.0
+        for level in candidates:
+            bank = self._bank_of(index, level)
+            start, _ = self._ports[bank.index].request(now + elapsed, bank.occupancy_cycles)
+            response = (start - (now + elapsed)) + bank.latency_cycles
+            if level == actual_level:
+                energy += self.energy.charge(f"{self.name}.bank{bank.index}.read")
+                self.stats.add("dgroup_accesses")
+                return AccessResult(
+                    hit=True,
+                    latency=elapsed + response,
+                    level=self.name,
+                    dgroup=actual_level,
+                    energy_nj=energy,
+                )
+            energy += self.energy.charge(f"{self.name}.bank{bank.index}.probe")
+            self.stats.add("bank_probes")
+            if policy is SearchPolicy.SS_ENERGY:
+                self.smart_search.note_false_hit()
+                self.stats.add("false_hits")
+            elapsed += response
+        return AccessResult(hit=False, latency=elapsed, level=self.name, energy_nj=energy)
+
+    def _probe_bank(self, index: int, level: int, now: float) -> None:
+        """Occupy and charge a bank for a (fruitless) multicast probe."""
+        bank = self._bank_of(index, level)
+        self._ports[bank.index].request(now, bank.occupancy_cycles)
+        self.energy.charge(f"{self.name}.bank{bank.index}.probe")
+        self.stats.add("bank_probes")
+
+    # --- bubble promotion ---
+
+    def _positions_of_level(self, level: int) -> range:
+        start = level * self.ways_per_bank
+        return range(start, start + self.ways_per_bank)
+
+    def _victim_position(self, index: int, level: int) -> int:
+        """Free way of the level if any, else its LRU way."""
+        slots = self._slots[index]
+        best = None
+        best_key = None
+        for position in self._positions_of_level(level):
+            slot = slots[position]
+            key = (slot is not None, slot.last_touch if slot else 0)
+            if best_key is None or key < best_key:
+                best, best_key = position, key
+        assert best is not None
+        return best
+
+    def _promote(self, index: int, position: int, now: float) -> None:
+        """Swap one level closer to the core (generational promotion)."""
+        level = self._level_of_position(position)
+        target = level - 1
+        peer = self._victim_position(index, target)
+        slots = self._slots[index]
+        moving = slots[position]
+        assert moving is not None
+        displaced = slots[peer]
+
+        slots[peer], slots[position] = moving, displaced
+        self._where[index][moving.block_addr] = peer
+        self.smart_search.move(index, moving.block_addr, target)
+        if displaced is not None:
+            self._where[index][displaced.block_addr] = position
+            self.smart_search.move(index, displaced.block_addr, level)
+
+        self.stats.add("promotions")
+        self._charge_move(index, level, target, now)
+        if displaced is not None:
+            self.stats.add("demotions")
+            self._charge_move(index, target, level, now)
+
+    def _charge_move(self, index: int, src_level: int, dst_level: int, now: float) -> None:
+        src = self._bank_of(index, src_level)
+        dst = self._bank_of(index, dst_level)
+        # One block move: read at the source, write at the destination,
+        # one network hop in between (charged in the bank's move op).
+        self.energy.charge(f"{self.name}.bank{src.index}.move")
+        self.stats.add("dgroup_accesses", 2)
+        self.stats.add("moves")
+        self._ports[src.index].request(now, src.occupancy_cycles)
+        self._ports[dst.index].request(now, dst.occupancy_cycles)
+
+    # --- fills (tail insertion + slowest-way eviction) ---
+
+    def fill(self, address: int, now: float = 0.0, dirty: bool = False) -> int:
+        baddr = block_address(address, self.block_bytes)
+        index = self._set_of(address)
+        if baddr in self._where[index]:
+            return 0
+        self.stats.add("fills")
+        self._clock += 1
+        insert_level = self.config.chain_length - 1 if self.config.tail_insertion else 0
+
+        writebacks = 0
+        position = self._victim_position(index, insert_level)
+        slots = self._slots[index]
+        old = slots[position]
+        if old is not None:
+            # Evict the slowest (or fastest, under head insertion) way.
+            del self._where[index][old.block_addr]
+            self.smart_search.remove(index, old.block_addr)
+            self.stats.add("evictions")
+            if old.dirty:
+                writebacks = 1
+                self.stats.add("writebacks")
+                bank = self._bank_of(index, insert_level)
+                self.energy.charge(f"{self.name}.bank{bank.index}.read")
+                self.stats.add("dgroup_accesses")
+
+        slots[position] = _Slot(block_addr=baddr, dirty=dirty, last_touch=self._clock)
+        self._where[index][baddr] = position
+        self.smart_search.insert(index, baddr, insert_level)
+        bank = self._bank_of(index, insert_level)
+        self.energy.charge(f"{self.name}.bank{bank.index}.write")
+        self.stats.add("dgroup_accesses")
+        return writebacks
+
+    # --- prewarm (models the paper's 5B-instruction fast-forward) ---
+
+    PREWARM_BASE = 1 << 45
+
+    def prewarm(self) -> None:
+        """Fill every way of every bank with a clean dummy block.
+
+        Mirrors :meth:`repro.nurapid.cache.NuRAPIDCache.prewarm`: short
+        traces cannot populate 8 MB, and a half-empty D-NUCA would see
+        neither tail evictions nor promotion swaps.  Dummies never
+        alias workload addresses and cost no writebacks.
+        """
+        if self.resident_blocks():
+            raise SimulationError("prewarm on a non-empty cache")
+        for index in range(self.n_sets):
+            for position in range(self.config.associativity):
+                baddr = (
+                    self.PREWARM_BASE
+                    + (position * self.n_sets + index) * self.block_bytes
+                )
+                self._slots[index][position] = _Slot(
+                    block_addr=baddr, dirty=False, last_touch=0
+                )
+                self._where[index][baddr] = position
+                self.smart_search.insert(
+                    index, baddr, self._level_of_position(position)
+                )
+
+    # --- introspection ---
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.stats.get("accesses")
+        if not total:
+            return 0.0
+        return self.stats.get("misses") / total
+
+    def resident_blocks(self) -> int:
+        return sum(len(w) for w in self._where)
+
+    def reset_stats(self) -> None:
+        """Zero counters after warmup; contents and bank timelines kept."""
+        self.stats.reset()
+        self.dgroup_hits = Distribution()
+        self.energy.reset_counts()
+        self.smart_search.lookups = 0
+        self.smart_search.false_hits = 0
+        for port in self._ports:
+            port.total_busy = 0.0
+            port.total_wait = 0.0
+            port.grants = 0
+
+    def check_invariants(self) -> None:
+        for index in range(self.n_sets):
+            where = self._where[index]
+            slots = self._slots[index]
+            occupied = {
+                pos: slot.block_addr
+                for pos, slot in enumerate(slots)
+                if slot is not None
+            }
+            if len(where) != len(occupied):
+                raise SimulationError(f"set {index} slot/map count mismatch")
+            for baddr, pos in where.items():
+                if occupied.get(pos) != baddr:
+                    raise SimulationError(f"set {index} position {pos} mismatch")
+                if self._set_of(baddr) != index:
+                    raise SimulationError(f"block {baddr:#x} in wrong set")
+                level = self._level_of_position(pos)
+                ss_levels = self.smart_search._entries[index]
+                if ss_levels.get(baddr) != level:
+                    raise SimulationError(
+                        f"ss-array stale for block {baddr:#x} (set {index})"
+                    )

@@ -1,0 +1,79 @@
+"""Configuration for the D-NUCA baseline."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+class SearchPolicy(enum.Enum):
+    """How D-NUCA locates a block among its banks (§5.4).
+
+    * ``SS_PERFORMANCE`` — consult the smart-search array for early
+      miss detection while multicasting the search to every bank of
+      the chain; best performance, worst energy.
+    * ``SS_ENERGY`` — consult the smart-search array first and probe
+      only partial-tag-matching banks, nearest first; best energy.
+    * ``INCREMENTAL`` — no smart-search array: probe banks nearest
+      first unconditionally (Kim et al.'s basic sequential policy,
+      kept for ablations).
+    """
+
+    SS_PERFORMANCE = "ss-performance"
+    SS_ENERGY = "ss-energy"
+    INCREMENTAL = "incremental"
+
+
+@dataclass(frozen=True)
+class DNUCAConfig:
+    """The paper's optimal D-NUCA configuration (§4) by default."""
+
+    capacity_bytes: int = 8 * 1024 * 1024
+    block_bytes: int = 128
+    associativity: int = 16
+    bank_bytes: int = 64 * 1024
+    chain_length: int = 8
+    policy: SearchPolicy = SearchPolicy.SS_PERFORMANCE
+    #: Bubble promotion on hits (D-NUCA's generational movement).
+    promote_on_hit: bool = True
+    #: Insert new blocks at the slowest bank (tail insertion); the
+    #: head-insertion alternative [7] found inferior is the ablation.
+    tail_insertion: bool = True
+    ss_partial_bits: int = 7
+    seed: int = 0
+    name: str = "D-NUCA"
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.block_bytes <= 0:
+            raise ConfigurationError("capacity and block size must be positive")
+        if self.capacity_bytes % self.bank_bytes:
+            raise ConfigurationError("capacity must be a whole number of banks")
+        if self.associativity % self.chain_length:
+            raise ConfigurationError(
+                "associativity must spread evenly over the chain"
+            )
+        blocks = self.capacity_bytes // self.block_bytes
+        if blocks % self.associativity:
+            raise ConfigurationError("blocks must divide evenly into sets")
+        if (self.capacity_bytes // self.bank_bytes) % self.chain_length:
+            raise ConfigurationError("banks must divide evenly into chains")
+        if not 1 <= self.ss_partial_bits <= 32:
+            raise ConfigurationError("ss_partial_bits must be in [1, 32]")
+
+    @property
+    def n_banks(self) -> int:
+        return self.capacity_bytes // self.bank_bytes
+
+    @property
+    def n_chains(self) -> int:
+        return self.n_banks // self.chain_length
+
+    @property
+    def n_sets(self) -> int:
+        return self.capacity_bytes // self.block_bytes // self.associativity
+
+    @property
+    def ways_per_bank(self) -> int:
+        return self.associativity // self.chain_length

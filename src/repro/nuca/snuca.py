@@ -1,0 +1,189 @@
+"""S-NUCA: the *static* non-uniform cache from Kim et al. (ASPLOS '02).
+
+The paper's D-NUCA baseline is the dynamic variant; the original NUCA
+work also defined S-NUCA-2, where each set is statically mapped to one
+bank by its address — no searching, no movement, but also no way to
+put hot data close.  Including it completes the NUCA lineage and gives
+the ``ablation_snuca`` experiment a second reference point: how much
+of D-NUCA's/NuRAPID's gain comes from *any* non-uniformity versus
+from *managed placement*.
+
+Implementation: the same 128 x 64 KB bank geometry as D-NUCA, but the
+whole 16-way set lives in the single bank selected by low set-index
+bits.  An access goes straight to that bank (one probe, no ss-array),
+hits at the bank's latency or misses after its tag check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.stats import Counter, Distribution
+from repro.common.types import AccessResult
+from repro.caches.block import block_address, set_index
+from repro.caches.port import PortScheduler
+from repro.common.lru import LRUPolicy
+from repro.floorplan.dgroups import DNUCAGeometry, build_dnuca_geometry
+from repro.tech.energy import EnergyBook
+
+
+@dataclass
+class _Line:
+    block_addr: int
+    dirty: bool
+
+
+class SNUCACache:
+    """Statically-mapped non-uniform L2 (lower-level protocol)."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 8 * 1024 * 1024,
+        block_bytes: int = 128,
+        associativity: int = 16,
+        geometry: Optional[DNUCAGeometry] = None,
+        energy: Optional[EnergyBook] = None,
+        name: str = "S-NUCA",
+    ) -> None:
+        self.name = name
+        self.block_bytes = block_bytes
+        self.associativity = associativity
+        blocks = capacity_bytes // block_bytes
+        if blocks % associativity:
+            raise ConfigurationError("capacity must hold a whole number of sets")
+        self.n_sets = blocks // associativity
+        self.geometry = geometry if geometry is not None else build_dnuca_geometry(
+            capacity_bytes=capacity_bytes,
+            block_bytes=block_bytes,
+            associativity=associativity,
+        )
+        if self.n_sets % self.geometry.n_banks:
+            raise ConfigurationError("sets must divide evenly over the banks")
+
+        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(self.n_sets)]
+        self._lru: List[LRUPolicy] = [LRUPolicy() for _ in range(self.n_sets)]
+        self._ports = [
+            PortScheduler(f"{name}.bank{i}") for i in range(self.geometry.n_banks)
+        ]
+        self.energy = energy if energy is not None else EnergyBook()
+        for bank in self.geometry.banks:
+            base = f"{name}.bank{bank.index}"
+            self.energy.register(f"{base}.read", bank.read_energy_nj)
+            self.energy.register(f"{base}.write", bank.write_energy_nj)
+            self.energy.register(f"{base}.probe", bank.probe_energy_nj)
+        self.stats = Counter()
+        self.dgroup_hits = Distribution()
+
+    # --- static mapping ---
+
+    def _set_of(self, address: int) -> int:
+        return set_index(address, self.block_bytes, self.n_sets)
+
+    def bank_of_set(self, index: int):
+        """The one bank a set lives in, fixed by address bits."""
+        return self.geometry.banks[index % self.geometry.n_banks]
+
+    def contains(self, address: int) -> bool:
+        baddr = block_address(address, self.block_bytes)
+        return baddr in self._sets[self._set_of(address)]
+
+    # --- access path: one bank, no search ---
+
+    def access(self, address: int, is_write: bool = False, now: float = 0.0) -> AccessResult:
+        baddr = block_address(address, self.block_bytes)
+        index = self._set_of(address)
+        bank = self.bank_of_set(index)
+        self.stats.add("accesses")
+        start, _ = self._ports[bank.index].request(now, bank.occupancy_cycles)
+        wait = start - now
+
+        line = self._sets[index].get(baddr)
+        if line is None:
+            self.stats.add("misses")
+            energy = self.energy.charge(f"{self.name}.bank{bank.index}.probe")
+            return AccessResult(
+                hit=False,
+                latency=wait + bank.latency_cycles,
+                level=self.name,
+                energy_nj=energy,
+            )
+        self.stats.add("hits")
+        # Report the bank's latency tier (row) where d-groups would be.
+        self.dgroup_hits.add(bank.row)
+        self.stats.add("dgroup_accesses")
+        self._lru[index].touch(baddr)
+        if is_write:
+            line.dirty = True
+        op = "write" if is_write else "read"
+        energy = self.energy.charge(f"{self.name}.bank{bank.index}.{op}")
+        return AccessResult(
+            hit=True,
+            latency=wait + bank.latency_cycles,
+            level=self.name,
+            dgroup=bank.row,
+            energy_nj=energy,
+        )
+
+    def fill(self, address: int, now: float = 0.0, dirty: bool = False) -> int:
+        baddr = block_address(address, self.block_bytes)
+        index = self._set_of(address)
+        resident = self._sets[index]
+        if baddr in resident:
+            return 0
+        self.stats.add("fills")
+        bank = self.bank_of_set(index)
+        writebacks = 0
+        if len(resident) >= self.associativity:
+            victim_addr = self._lru[index].pop_victim()
+            victim = resident.pop(victim_addr)
+            self.stats.add("evictions")
+            if victim.dirty:
+                writebacks = 1
+                self.stats.add("writebacks")
+                self.energy.charge(f"{self.name}.bank{bank.index}.read")
+        resident[baddr] = _Line(block_addr=baddr, dirty=dirty)
+        self._lru[index].insert(baddr)
+        self.energy.charge(f"{self.name}.bank{bank.index}.write")
+        self.stats.add("dgroup_accesses")
+        return writebacks
+
+    # --- protocol extras ---
+
+    PREWARM_BASE = 1 << 45
+
+    def prewarm(self) -> None:
+        """Fill every way with clean dummies (steady-state start)."""
+        for index in range(self.n_sets):
+            for way in range(self.associativity):
+                baddr = (
+                    self.PREWARM_BASE + (way * self.n_sets + index) * self.block_bytes
+                )
+                if baddr in self._sets[index]:
+                    continue
+                self._sets[index][baddr] = _Line(block_addr=baddr, dirty=False)
+                self._lru[index].insert(baddr)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.dgroup_hits = Distribution()
+        self.energy.reset_counts()
+        for port in self._ports:
+            port.total_busy = 0.0
+            port.total_wait = 0.0
+            port.grants = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.stats.get("accesses")
+        if not total:
+            return 0.0
+        return self.stats.get("misses") / total
+
+    def check_invariants(self) -> None:
+        for index, resident in enumerate(self._sets):
+            if len(resident) > self.associativity:
+                raise ConfigurationError(f"set {index} over associativity")
+            if len(self._lru[index]) != len(resident):
+                raise ConfigurationError(f"set {index} LRU/tag mismatch")

@@ -1,0 +1,466 @@
+"""The NuRAPID cache model (§2).
+
+Structure: a centralized set-associative tag array probed first
+(sequential tag-data access), whose entries carry forward pointers to
+frames in a few large d-groups; frames carry reverse pointers back.
+Placement, distance replacement, and promotion follow §2.1–2.4:
+
+* new blocks always enter d-group 0 (initial placement in the fastest
+  group — the flexibility set-associative placement cannot afford),
+* making room demotes blocks outward, d-group by d-group, until a free
+  frame is found (at most n-1 demotions; never an eviction),
+* hits outside d-group 0 optionally promote the block by swapping it
+  with a distance-replacement victim of the faster group,
+* the whole cache is one-ported and non-banked: every operation —
+  access, swap leg, fill — serializes on a single
+  :class:`~repro.caches.port.PortScheduler` (§2.3).
+
+Timing contract: ``access``/``fill`` take the arrival cycle ``now``;
+returned latencies include queueing behind earlier operations, which is
+how the paper's reduced-bandwidth argument is evaluated (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.lru import LRUPolicy
+from repro.common.rng import DeterministicRNG
+from repro.common.stats import Counter, Distribution
+from repro.common.types import AccessResult
+from repro.caches.block import block_address, set_index
+from repro.caches.port import PortScheduler
+from repro.floorplan.dgroups import NuRAPIDGeometry, build_nurapid_geometry
+from repro.nurapid.config import NuRAPIDConfig, PromotionPolicy
+from repro.nurapid.pointers import FrameStore
+from repro.nurapid.replacement import DistanceReplacer
+from repro.tech.energy import EnergyBook
+
+
+@dataclass
+class TagEntry:
+    """One tag-array entry: identity, state, and the forward pointer."""
+
+    block_addr: int
+    dirty: bool
+    dgroup: int
+    frame: int
+    #: Hits taken outside the promotion target since the last move
+    #: (drives the promotion_hysteresis extension).
+    pending_hits: int = 0
+
+
+class NuRAPIDCache:
+    """Distance-associative non-uniform L2 (lower-level protocol)."""
+
+    def __init__(
+        self,
+        config: NuRAPIDConfig,
+        geometry: Optional[NuRAPIDGeometry] = None,
+        energy: Optional[EnergyBook] = None,
+    ) -> None:
+        self.config = config
+        self.name = config.name
+        self.block_bytes = config.block_bytes
+        self.geometry = geometry if geometry is not None else build_nurapid_geometry(
+            n_dgroups=config.n_dgroups,
+            capacity_bytes=config.capacity_bytes,
+            block_bytes=config.block_bytes,
+            associativity=config.associativity,
+            restricted_frames=config.restricted_frames,
+        )
+        if self.geometry.n_dgroups != config.n_dgroups:
+            raise ConfigurationError("geometry and config disagree on d-groups")
+        if self.geometry.sets != config.n_sets:
+            raise ConfigurationError("geometry and config disagree on sets")
+
+        self._tags: List[Dict[int, TagEntry]] = [dict() for _ in range(config.n_sets)]
+        self._data_lru: List[LRUPolicy] = [LRUPolicy() for _ in range(config.n_sets)]
+        self._stores = [
+            FrameStore(config.frames_per_dgroup, config.n_regions)
+            for _ in range(config.n_dgroups)
+        ]
+        rng = DeterministicRNG(config.seed, f"{config.name}/distance")
+        self._replacer = DistanceReplacer(
+            config.n_dgroups, config.n_regions, config.distance_replacement, rng
+        )
+        self.port = PortScheduler(f"{config.name}.port")
+
+        self.energy = energy if energy is not None else EnergyBook()
+        self._register_energy()
+
+        self.stats = Counter()
+        self.dgroup_hits = Distribution()
+
+    # --- energy registration ---
+
+    def _register_energy(self) -> None:
+        geo = self.geometry
+        self.energy.register(f"{self.name}.tag_probe", geo.tag_energy_nj)
+        for spec in geo.dgroups:
+            self.energy.register(f"{self.name}.dg{spec.index}.read", spec.read_energy_nj)
+            self.energy.register(f"{self.name}.dg{spec.index}.write", spec.write_energy_nj)
+        for i in range(geo.n_dgroups):
+            for j in range(geo.n_dgroups):
+                if i != j:
+                    self.energy.register(
+                        f"{self.name}.move.{i}->{j}", geo.swap_energy_nj(i, j)
+                    )
+
+    # --- address helpers ---
+
+    def _set_of(self, address: int) -> int:
+        return set_index(address, self.block_bytes, self.config.n_sets)
+
+    def _region_of(self, address: int) -> int:
+        # Regions are selected by set-index bits so that each region's
+        # resident blocks can never exceed its frames (restricted
+        # placement stays deadlock-free; see tests).
+        return self._set_of(address) % self.config.n_regions
+
+    # --- lookups ---
+
+    def lookup(self, address: int) -> Optional[TagEntry]:
+        """Tag entry for ``address`` if resident (no side effects)."""
+        baddr = block_address(address, self.block_bytes)
+        return self._tags[self._set_of(address)].get(baddr)
+
+    def contains(self, address: int) -> bool:
+        return self.lookup(address) is not None
+
+    def dgroup_of(self, address: int) -> Optional[int]:
+        entry = self.lookup(address)
+        return None if entry is None else entry.dgroup
+
+    # --- the access path ---
+
+    def access(self, address: int, is_write: bool = False, now: float = 0.0) -> AccessResult:
+        """Sequential tag-data access with optional promotion."""
+        baddr = block_address(address, self.block_bytes)
+        index = self._set_of(address)
+        entry = self._tags[index].get(baddr)
+        self.stats.add("accesses")
+        energy = self.energy.charge(f"{self.name}.tag_probe")
+
+        if entry is None:
+            # Sequential tag-data access: the (pipelined) tag probe
+            # alone determines a miss; the data port is never touched.
+            self.stats.add("misses")
+            return AccessResult(
+                hit=False,
+                latency=float(self.geometry.miss_latency()),
+                level=self.name,
+                energy_nj=energy,
+            )
+
+        group = entry.dgroup
+        self.stats.add("hits")
+        self.dgroup_hits.add(group)
+        op = "write" if is_write else "read"
+        energy += self.energy.charge(f"{self.name}.dg{group}.{op}")
+        self.stats.add("dgroup_accesses")
+        if is_write:
+            entry.dirty = True
+
+        self._data_lru[index].touch(baddr)
+        self._replacer.touch(group, self._region_of(address), entry.frame)
+
+        if self.config.ideal_uniform:
+            latency: float = self.geometry.hit_latency(0)
+            done = now + latency
+        else:
+            # The tag array is pipelined; the data side's single port is
+            # claimed after the tag probe, for the array-access time
+            # only.  Data reaches the core a wire-trip after the array
+            # starts, so latency = queueing + tag + data path.
+            start, _ = self.port.request(
+                now + self.geometry.tag_cycles, self.geometry.data_occupancy(group)
+            )
+            latency = (start - now) + self.geometry.dgroups[group].data_cycles
+            done = now + latency
+
+        if group > 0 and self.config.promotion is not PromotionPolicy.DEMOTION_ONLY:
+            entry.pending_hits += 1
+            if entry.pending_hits >= self.config.promotion_hysteresis:
+                entry.pending_hits = 0
+                target = (
+                    group - 1
+                    if self.config.promotion is PromotionPolicy.NEXT_FASTEST
+                    else 0
+                )
+                self._promote(entry, target, done)
+
+        return AccessResult(
+            hit=True,
+            latency=latency,
+            level=self.name,
+            dgroup=group,
+            energy_nj=energy,
+        )
+
+    def _occupy(self, now: float, cycles: float) -> float:
+        """Claim the single port; returns observed latency incl. waiting."""
+        if self.config.ideal_uniform:
+            return cycles
+        start, finish = self.port.request(now, cycles)
+        return finish - now
+
+    # --- promotion (swap with a distance-replacement victim) ---
+
+    def _promote(self, entry: TagEntry, target: int, now: float) -> None:
+        """Move ``entry`` to ``target``, swapping with a victim if full."""
+        source = entry.dgroup
+        if target >= source:
+            raise SimulationError(f"promotion must move inward ({source}->{target})")
+        region = self._region_of(entry.block_addr)
+        self.stats.add("promotions")
+
+        if self._stores[target].has_free(region):
+            # Room in the faster group: a one-way move, no demotion.
+            self._stores[source].release(entry.frame)
+            self._replacer.remove(source, region, entry.frame)
+            new_frame = self._stores[target].allocate(entry.block_addr, region)
+            self._replacer.insert(target, region, new_frame)
+            entry.dgroup, entry.frame = target, new_frame
+            self._charge_move(source, target, now)
+            return
+
+        victim_frame = self._replacer.select_victim(target, region)
+        victim_addr = self._stores[target].occupant(victim_frame)
+        if victim_addr is None:
+            raise SimulationError("distance victim frame is unexpectedly free")
+        victim_entry = self._tags[self._set_of(victim_addr)][victim_addr]
+
+        # Swap occupants; both frames stay occupied.
+        self._stores[target].replace(victim_frame, entry.block_addr)
+        self._stores[source].replace(entry.frame, victim_addr)
+        victim_entry.dgroup, victim_entry.frame = source, entry.frame
+        victim_entry.pending_hits = 0
+        old_frame = entry.frame
+        entry.dgroup, entry.frame = target, victim_frame
+
+        # Recency: the promoted block is MRU in its new group; the
+        # demoted victim enters the slower group as a fresh arrival.
+        self._replacer.touch(target, region, victim_frame)
+        self._replacer.remove(source, region, old_frame)
+        self._replacer.insert(source, region, old_frame)
+
+        self.stats.add("demotions")
+        self._charge_move(source, target, now)
+        self._charge_move(target, source, now)
+
+    def _charge_move(self, src: int, dst: int, now: float, occupy: bool = True) -> None:
+        """Energy (and optionally port occupancy) for one block move.
+
+        Promotion swaps run at hit time and, per §2.3, must complete
+        before a later access is served — they occupy the port.
+        Fill-time demotion chains ride the fill buffers and drain
+        during idle array cycles, so they charge energy only.
+        """
+        self.energy.charge(f"{self.name}.move.{src}->{dst}")
+        self.stats.add("dgroup_accesses", 2)
+        self.stats.add("moves")
+        if occupy and not self.config.ideal_uniform:
+            self.port.request(now, self.geometry.swap_occupancy(src, dst))
+
+    # --- fills (placement + distance replacement, §2.2) ---
+
+    def fill(self, address: int, now: float = 0.0, dirty: bool = False) -> int:
+        """Install a block after a miss; returns dirty writebacks (0/1).
+
+        Conventional data replacement (LRU within the set) may first
+        evict a block, freeing a frame somewhere; the new block then
+        enters d-group 0, pushing a demotion chain outward until a free
+        frame absorbs it.
+        """
+        baddr = block_address(address, self.block_bytes)
+        index = self._set_of(address)
+        resident = self._tags[index]
+        if baddr in resident:
+            return 0
+        region = self._region_of(address)
+        self.stats.add("fills")
+
+        writebacks = 0
+        if len(resident) >= self.config.associativity:
+            victim_addr = self._data_lru[index].pop_victim()
+            victim = resident.pop(victim_addr)
+            self._stores[victim.dgroup].release(victim.frame)
+            self._replacer.remove(victim.dgroup, region, victim.frame)
+            self.stats.add("evictions")
+            if victim.dirty:
+                writebacks = 1
+                self.stats.add("writebacks")
+                # Reading the victim out for writeback is a d-group read;
+                # it drains through the writeback buffer off the port.
+                self.energy.charge(f"{self.name}.dg{victim.dgroup}.read")
+                self.stats.add("dgroup_accesses")
+
+        # Demotion chain: push occupants outward until a free frame.
+        group = 0
+        incoming = baddr
+        incoming_entry: Optional[TagEntry] = None  # created below for baddr
+        while not self._stores[group].has_free(region):
+            frame = self._replacer.select_victim(group, region)
+            demoted_addr = self._stores[group].replace(frame, incoming)
+            self._replacer.remove(group, region, frame)
+            self._replacer.insert(group, region, frame)
+            self._settle(incoming, incoming_entry, group, frame)
+            demoted_entry = self._tags[self._set_of(demoted_addr)][demoted_addr]
+            incoming, incoming_entry = demoted_addr, demoted_entry
+            group += 1
+            if group >= self.config.n_dgroups:
+                raise SimulationError(
+                    "demotion chain ran off the slowest d-group; "
+                    "free-frame accounting is corrupt"
+                )
+            self.stats.add("demotions")
+            self._charge_move(group - 1, group, now, occupy=False)
+        frame = self._stores[group].allocate(incoming, region)
+        self._replacer.insert(group, region, frame)
+        self._settle(incoming, incoming_entry, group, frame)
+
+        # The new block's own fill write into d-group 0 (fill buffer;
+        # no demand-port occupancy).
+        self.energy.charge(f"{self.name}.dg0.write")
+        self.stats.add("dgroup_accesses")
+
+        entry = self._tags[index].get(baddr)
+        if entry is None:
+            raise SimulationError("fill finished without installing the block")
+        entry.dirty = dirty
+        return writebacks
+
+    def _settle(
+        self,
+        block_addr: int,
+        entry: Optional[TagEntry],
+        dgroup: int,
+        frame: int,
+    ) -> None:
+        """Point a block's tag entry at its (possibly new) frame.
+
+        ``entry`` is None exactly for the incoming block on its first
+        placement, in which case the tag entry is created here.
+        """
+        if entry is None:
+            index = self._set_of(block_addr)
+            new_entry = TagEntry(
+                block_addr=block_addr, dirty=False, dgroup=dgroup, frame=frame
+            )
+            self._tags[index][block_addr] = new_entry
+            self._data_lru[index].insert(block_addr)
+        else:
+            entry.dgroup, entry.frame = dgroup, frame
+            entry.pending_hits = 0
+
+    # --- prewarm (models the paper's 5B-instruction fast-forward) ---
+
+    #: Reserved address region for prewarm dummy blocks; far above any
+    #: workload region so dummies never alias real traffic.
+    PREWARM_BASE = 1 << 45
+
+    def prewarm(self) -> None:
+        """Fill every frame with a clean dummy block.
+
+        A short trace cannot touch 8 MB worth of distinct blocks the
+        way the paper's 5-billion-instruction fast-forward does; an
+        empty cache would leave d-group 0 with free frames forever and
+        mask all distance-replacement behaviour.  Prewarming puts the
+        cache in the fully-occupied steady state: ``assoc / n_dgroups``
+        dummy ways of every set in each d-group.  Dummies are clean, so
+        their eviction costs no writebacks.  Call before any traffic.
+        """
+        if self.resident_blocks():
+            raise SimulationError("prewarm on a non-empty cache")
+        assoc = self.config.associativity
+        n_dgroups = self.config.n_dgroups
+        if assoc % n_dgroups:
+            raise SimulationError(
+                "prewarm requires associativity divisible by d-groups"
+            )
+        sets = self.config.n_sets
+        for index in range(sets):
+            region = index % self.config.n_regions
+            for way in range(assoc):
+                baddr = self.PREWARM_BASE + (way * sets + index) * self.block_bytes
+                group = way * n_dgroups // assoc
+                frame = self._stores[group].allocate(baddr, region)
+                self._replacer.insert(group, region, frame)
+                self._tags[index][baddr] = TagEntry(
+                    block_addr=baddr, dirty=False, dgroup=group, frame=frame
+                )
+                self._data_lru[index].insert(baddr)
+
+    # --- introspection / verification ---
+
+    @property
+    def accesses(self) -> int:
+        return int(self.stats.get("accesses"))
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.stats.get("accesses")
+        if not total:
+            return 0.0
+        return self.stats.get("misses") / total
+
+    def resident_blocks(self) -> int:
+        return sum(len(s) for s in self._tags)
+
+    def check_invariants(self) -> None:
+        """Cross-check tags, frames, pointers, and policies.
+
+        O(capacity); intended for tests, not the hot loop.
+        """
+        resident = 0
+        for index, tag_set in enumerate(self._tags):
+            if len(tag_set) > self.config.associativity:
+                raise SimulationError(f"set {index} over associativity")
+            if len(self._data_lru[index]) != len(tag_set):
+                raise SimulationError(f"set {index} LRU/tag size mismatch")
+            for baddr, entry in tag_set.items():
+                resident += 1
+                if self._set_of(baddr) != index:
+                    raise SimulationError(f"block {baddr:#x} in wrong set")
+                occupant = self._stores[entry.dgroup].occupant(entry.frame)
+                if occupant != baddr:
+                    raise SimulationError(
+                        f"forward pointer of {baddr:#x} disagrees with frame"
+                    )
+                region = self._region_of(baddr)
+                if self._stores[entry.dgroup].region_of_frame(entry.frame) != region:
+                    raise SimulationError(f"block {baddr:#x} outside its region")
+        for store in self._stores:
+            store.check_invariants()
+        occupied = sum(store.occupied_count for store in self._stores)
+        if occupied != resident:
+            raise SimulationError(
+                f"{occupied} occupied frames but {resident} resident blocks"
+            )
+        for group in range(self.config.n_dgroups):
+            for region in range(self.config.n_regions):
+                tracked = self._replacer.tracked(group, region)
+                free = self._stores[group].free_count(region)
+                per_region = self._stores[group].frames_per_region
+                if tracked != per_region - free:
+                    raise SimulationError(
+                        f"replacer tracking {tracked} frames in d-group {group} "
+                        f"region {region}, expected {per_region - free}"
+                    )
+
+    def reset_stats(self) -> None:
+        """Zero counters after warmup; contents, recency, and the port
+        timeline are kept so contention stays causal."""
+        self.stats.reset()
+        self.dgroup_hits = Distribution()
+        self.energy.reset_counts()
+        self.port.total_busy = 0.0
+        self.port.total_wait = 0.0
+        self.port.grants = 0
+
+    def dgroup_occupancy(self) -> List[Tuple[int, int]]:
+        """(occupied, total) frames per d-group, fastest first."""
+        return [(s.occupied_count, s.n_frames) for s in self._stores]

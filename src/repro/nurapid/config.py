@@ -1,0 +1,114 @@
+"""Configuration for the NuRAPID cache model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+
+
+class PromotionPolicy(enum.Enum):
+    """What happens when a block hits outside the fastest d-group (§2.4.1).
+
+    * ``DEMOTION_ONLY`` — nothing; blocks only move outward.
+    * ``NEXT_FASTEST``  — swap the block one d-group closer (the
+      paper's chosen policy, §5.2.2).
+    * ``FASTEST``       — swap the block straight into d-group 0.
+    """
+
+    DEMOTION_ONLY = "demotion-only"
+    NEXT_FASTEST = "next-fastest"
+    FASTEST = "fastest"
+
+
+class DistanceReplacementKind(enum.Enum):
+    """How the victim within a d-group is chosen (§2.4.2, §5.3.1)."""
+
+    RANDOM = "random"
+    LRU = "lru"
+    APPROX_LRU = "approx-lru"
+
+
+@dataclass(frozen=True)
+class NuRAPIDConfig:
+    """A NuRAPID design point.
+
+    Defaults are the paper's primary configuration: 8 MB, 8-way, 128 B
+    blocks, 4 d-groups, random distance replacement with next-fastest
+    promotion, LRU data replacement (§4, §5.3.1).
+
+    ``restricted_frames`` limits each block to that many candidate
+    frames per d-group, shrinking the forward pointer (§2.4.3);
+    ``None`` means fully flexible placement.
+
+    ``ideal_uniform`` models Figure 6's "ideal" curve: every hit
+    completes at the fastest d-group's latency and block movement is
+    free.  Placement still runs so miss behaviour is identical.
+    """
+
+    capacity_bytes: int = 8 * 1024 * 1024
+    block_bytes: int = 128
+    associativity: int = 8
+    n_dgroups: int = 4
+    promotion: PromotionPolicy = PromotionPolicy.NEXT_FASTEST
+    distance_replacement: DistanceReplacementKind = DistanceReplacementKind.RANDOM
+    restricted_frames: Optional[int] = None
+    ideal_uniform: bool = False
+    #: Promote only on the Nth hit taken while outside the target
+    #: d-group (1 = the paper's promote-on-every-hit).  An extension
+    #: ablation: hysteresis trades slower promotion for fewer swaps.
+    promotion_hysteresis: int = 1
+    seed: int = 0
+    name: str = "NuRAPID"
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.block_bytes <= 0:
+            raise ConfigurationError("capacity and block size must be positive")
+        if self.capacity_bytes % self.block_bytes:
+            raise ConfigurationError("capacity must be a whole number of blocks")
+        blocks = self.capacity_bytes // self.block_bytes
+        if self.associativity <= 0 or blocks % self.associativity:
+            raise ConfigurationError("blocks must divide evenly into sets")
+        if self.n_dgroups <= 0 or blocks % self.n_dgroups:
+            raise ConfigurationError("blocks must divide evenly into d-groups")
+        if self.promotion_hysteresis < 1:
+            raise ConfigurationError("promotion_hysteresis must be >= 1")
+        frames_per_dgroup = blocks // self.n_dgroups
+        if self.restricted_frames is not None:
+            if not 0 < self.restricted_frames <= frames_per_dgroup:
+                raise ConfigurationError(
+                    f"restricted_frames must be in [1, {frames_per_dgroup}]"
+                )
+            if frames_per_dgroup % self.restricted_frames:
+                raise ConfigurationError(
+                    "restricted_frames must divide the frames per d-group"
+                )
+            n_sets = blocks // self.associativity
+            n_regions = frames_per_dgroup // self.restricted_frames
+            if n_sets % n_regions:
+                raise ConfigurationError(
+                    "placement regions must evenly partition the sets "
+                    f"({n_regions} regions over {n_sets} sets); choose a "
+                    "larger restricted_frames"
+                )
+
+    @property
+    def n_blocks(self) -> int:
+        return self.capacity_bytes // self.block_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_blocks // self.associativity
+
+    @property
+    def frames_per_dgroup(self) -> int:
+        return self.n_blocks // self.n_dgroups
+
+    @property
+    def n_regions(self) -> int:
+        """Placement regions per d-group (1 = fully flexible)."""
+        if self.restricted_frames is None:
+            return 1
+        return self.frames_per_dgroup // self.restricted_frames

@@ -1,0 +1,121 @@
+"""Frame storage and the reverse-pointer side of distance associativity.
+
+A :class:`FrameStore` is one d-group's worth of data frames.  Each
+occupied frame records the block address resident in it — the model's
+form of the paper's reverse pointer (block address determines the tag
+set, and the set's tag entry is then found associatively, exactly what
+the hardware's (set, way) pointer accomplishes).
+
+Frames are grouped into *regions* to support §2.4.3's restricted
+distance associativity: a block whose placement is restricted to
+``restricted_frames`` frames per d-group may only occupy frames of its
+own region, so free-frame search and victim selection are per-region.
+With one region the store is fully flexible (the paper's default).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+
+class FrameStore:
+    """Occupancy tracking for one d-group's frames."""
+
+    def __init__(self, n_frames: int, n_regions: int = 1) -> None:
+        if n_frames <= 0:
+            raise ConfigurationError(f"frame count must be positive, got {n_frames}")
+        if n_regions <= 0 or n_frames % n_regions:
+            raise ConfigurationError(
+                f"{n_regions} regions must evenly divide {n_frames} frames"
+            )
+        self.n_frames = n_frames
+        self.n_regions = n_regions
+        self.frames_per_region = n_frames // n_regions
+        #: frame index -> resident block address (None = free).
+        self._resident: List[Optional[int]] = [None] * n_frames
+        #: per-region free lists (frame indices).
+        self._free: List[List[int]] = [
+            list(range(r * self.frames_per_region, (r + 1) * self.frames_per_region))
+            for r in range(n_regions)
+        ]
+
+    # --- queries ---
+
+    def occupant(self, frame: int) -> Optional[int]:
+        """Block address resident in ``frame`` (the reverse pointer)."""
+        self._check_frame(frame)
+        return self._resident[frame]
+
+    def region_of_frame(self, frame: int) -> int:
+        self._check_frame(frame)
+        return frame // self.frames_per_region
+
+    def has_free(self, region: int) -> bool:
+        self._check_region(region)
+        return bool(self._free[region])
+
+    def free_count(self, region: Optional[int] = None) -> int:
+        if region is None:
+            return sum(len(f) for f in self._free)
+        self._check_region(region)
+        return len(self._free[region])
+
+    @property
+    def occupied_count(self) -> int:
+        return self.n_frames - self.free_count()
+
+    # --- mutation ---
+
+    def allocate(self, block_addr: int, region: int) -> int:
+        """Place ``block_addr`` into a free frame of ``region``."""
+        self._check_region(region)
+        if not self._free[region]:
+            raise SimulationError(f"allocate in full region {region}")
+        frame = self._free[region].pop()
+        if self._resident[frame] is not None:
+            raise SimulationError(f"free list corrupt: frame {frame} occupied")
+        self._resident[frame] = block_addr
+        return frame
+
+    def release(self, frame: int) -> int:
+        """Free ``frame``; returns the block address that was there."""
+        self._check_frame(frame)
+        occupant = self._resident[frame]
+        if occupant is None:
+            raise SimulationError(f"release of already-free frame {frame}")
+        self._resident[frame] = None
+        self._free[self.region_of_frame(frame)].append(frame)
+        return occupant
+
+    def replace(self, frame: int, block_addr: int) -> int:
+        """Swap the occupant of ``frame``; returns the old occupant."""
+        self._check_frame(frame)
+        occupant = self._resident[frame]
+        if occupant is None:
+            raise SimulationError(f"replace on free frame {frame}")
+        self._resident[frame] = block_addr
+        return occupant
+
+    # --- invariants (used by tests and debug assertions) ---
+
+    def check_invariants(self) -> None:
+        """Raise if free lists and residency disagree."""
+        free = set()
+        for region, frames in enumerate(self._free):
+            for frame in frames:
+                if self.region_of_frame(frame) != region:
+                    raise SimulationError(f"frame {frame} on wrong region free list")
+                free.add(frame)
+        for frame, occupant in enumerate(self._resident):
+            if (occupant is None) != (frame in free):
+                raise SimulationError(f"frame {frame} residency/free-list mismatch")
+
+    def _check_frame(self, frame: int) -> None:
+        if not 0 <= frame < self.n_frames:
+            raise SimulationError(f"frame {frame} out of range")
+
+    def _check_region(self, region: int) -> None:
+        if not 0 <= region < self.n_regions:
+            raise SimulationError(f"region {region} out of range")

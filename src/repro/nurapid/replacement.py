@@ -1,0 +1,77 @@
+"""Distance replacement: choosing which block leaves a d-group.
+
+Distance replacement is the paper's second decoupling (§2.2): it picks
+a *frame* within a d-group whose occupant will be demoted one group
+outward — it never evicts from the cache.  The selection pool is the
+whole d-group (thousands of frames), which is why the paper evaluates
+random selection against true LRU (§5.3.1): random is hardware-trivial
+and the promotion policy repairs its mistakes.
+
+:class:`DistanceReplacer` keeps one eviction policy per (d-group,
+region); regions are the §2.4.3 pointer-restriction granularity and
+collapse to one per d-group in the default fully-flexible design.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ConfigurationError
+from repro.common.lru import EvictionPolicy, make_policy
+from repro.common.rng import DeterministicRNG
+from repro.nurapid.config import DistanceReplacementKind
+
+
+class DistanceReplacer:
+    """Victim selection over frames, per d-group and region."""
+
+    def __init__(
+        self,
+        n_dgroups: int,
+        n_regions: int,
+        kind: DistanceReplacementKind,
+        rng: DeterministicRNG,
+    ) -> None:
+        if n_dgroups <= 0 or n_regions <= 0:
+            raise ConfigurationError("d-group and region counts must be positive")
+        self.n_dgroups = n_dgroups
+        self.n_regions = n_regions
+        self.kind = kind
+        self._policies: List[List[EvictionPolicy]] = [
+            [
+                make_policy(kind.value, rng.spawn(f"dg{g}/r{r}"))
+                for r in range(n_regions)
+            ]
+            for g in range(n_dgroups)
+        ]
+
+    def _policy(self, dgroup: int, region: int) -> EvictionPolicy:
+        if not 0 <= dgroup < self.n_dgroups:
+            raise ConfigurationError(f"d-group {dgroup} out of range")
+        if not 0 <= region < self.n_regions:
+            raise ConfigurationError(f"region {region} out of range")
+        return self._policies[dgroup][region]
+
+    def insert(self, dgroup: int, region: int, frame: int) -> None:
+        """Track a newly occupied frame (as most recently used)."""
+        self._policy(dgroup, region).insert(frame)
+
+    def remove(self, dgroup: int, region: int, frame: int) -> None:
+        """Stop tracking a frame whose occupant left the d-group."""
+        self._policy(dgroup, region).remove(frame)
+
+    def touch(self, dgroup: int, region: int, frame: int) -> None:
+        """Record a hit on a frame's occupant."""
+        self._policy(dgroup, region).touch(frame)
+
+    def select_victim(self, dgroup: int, region: int) -> int:
+        """Choose the frame whose occupant will be demoted.
+
+        The frame stays tracked; the cache moves occupants around and
+        then calls :meth:`remove`/:meth:`insert` to reflect the moves.
+        """
+        return int(self._policy(dgroup, region).victim())
+
+    def tracked(self, dgroup: int, region: int) -> int:
+        """Occupied-frame count seen by the policy (invariant checks)."""
+        return len(self._policy(dgroup, region))

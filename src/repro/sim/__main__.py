@@ -1,0 +1,117 @@
+"""CLI for single simulation runs.
+
+Examples::
+
+    python -m repro.sim base art
+    python -m repro.sim nurapid art --refs 400000 --dgroups 8
+    python -m repro.sim dnuca twolf --policy ss-energy
+    python -m repro.sim compare galgel          # base vs nurapid vs dnuca
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.nuca.config import SearchPolicy
+from repro.nurapid.config import DistanceReplacementKind, PromotionPolicy
+from repro.sim.config import base_config, dnuca_config, nurapid_config, sa_nuca_config
+from repro.sim.driver import run_benchmark
+from repro.sim.results import RunResult
+from repro.workloads.spec2k import suite_names
+from repro.workloads.tracegen import generate_trace
+from repro.workloads.spec2k import get_benchmark
+
+
+def _print_result(result: RunResult) -> None:
+    print(f"config      : {result.config_name}")
+    print(f"benchmark   : {result.benchmark}")
+    print(f"instructions: {result.instructions}")
+    print(f"cycles      : {result.cycles:.0f}")
+    print(f"IPC         : {result.ipc:.3f}")
+    print(f"L2 accesses : {result.l2_accesses} ({result.l2_apki:.1f}/1k inst)")
+    print(f"L2 miss frac: {result.l2_miss_fraction:.3f}")
+    if result.dgroup_fractions:
+        fractions = ", ".join(
+            f"dg{k}={v:.1%}" for k, v in sorted(result.dgroup_fractions.items())
+        )
+        print(f"d-group hits: {fractions}")
+    print(f"L2 energy   : {result.lower_energy_nj / 1000:.1f} uJ")
+    print(f"proc energy : {result.total_energy_nj / 1000:.1f} uJ "
+          f"(ED {result.energy_delay:.3e})")
+
+
+def _config_for(args) -> list:
+    if args.system == "base":
+        return [base_config()]
+    if args.system == "nurapid":
+        return [
+            nurapid_config(
+                n_dgroups=args.dgroups,
+                promotion=PromotionPolicy(args.promotion),
+                distance_replacement=DistanceReplacementKind(args.distance),
+                ideal_uniform=args.ideal,
+            )
+        ]
+    if args.system == "dnuca":
+        return [dnuca_config(policy=SearchPolicy(args.policy))]
+    if args.system == "sa-nuca":
+        return [sa_nuca_config()]
+    if args.system == "compare":
+        return [
+            base_config(),
+            nurapid_config(n_dgroups=args.dgroups),
+            dnuca_config(policy=SearchPolicy(args.policy)),
+        ]
+    raise AssertionError(args.system)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="Run one benchmark on one (or a comparison of) systems.",
+    )
+    parser.add_argument(
+        "system", choices=["base", "nurapid", "dnuca", "sa-nuca", "compare"]
+    )
+    parser.add_argument("benchmark", choices=suite_names())
+    parser.add_argument("--refs", type=int, default=400_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--warmup", type=float, default=0.4)
+    parser.add_argument("--dgroups", type=int, default=4, choices=[2, 4, 8])
+    parser.add_argument(
+        "--promotion", default="next-fastest",
+        choices=[p.value for p in PromotionPolicy],
+    )
+    parser.add_argument(
+        "--distance", default="random",
+        choices=[k.value for k in DistanceReplacementKind],
+    )
+    parser.add_argument(
+        "--policy", default="ss-performance",
+        choices=[p.value for p in SearchPolicy],
+    )
+    parser.add_argument("--ideal", action="store_true")
+    args = parser.parse_args(argv)
+
+    trace = generate_trace(get_benchmark(args.benchmark), args.refs, seed=args.seed)
+    results = []
+    for config in _config_for(args):
+        result = run_benchmark(
+            config, args.benchmark, trace=trace, warmup_fraction=args.warmup
+        )
+        results.append(result)
+        _print_result(result)
+        print()
+    if len(results) > 1:
+        base = results[0]
+        for other in results[1:]:
+            rel = other.ipc / base.ipc
+            print(f"{other.config_name} vs {base.config_name}: "
+                  f"{(rel - 1) * 100:+.1f}% performance, "
+                  f"{other.lower_energy_nj / base.lower_energy_nj:.2f}x L2 energy")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

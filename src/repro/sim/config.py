@@ -1,0 +1,182 @@
+"""Named system configurations (Table 1 / §4).
+
+Every simulated system shares the Table 1 front end — 8-wide core,
+64 KB 2-way 32 B-block L1 i/d caches at 3 cycles with 8 MSHRs, memory
+at 130 + 4/8B cycles — and differs only in what sits below the L1s:
+
+* ``base``     — 1 MB 8-way L2 (11 cycles) over 8 MB 8-way L3 (43
+  cycles), both 128 B blocks.
+* ``nurapid``  — 8 MB 8-way NuRAPID with 2/4/8 d-groups and the §2.4
+  policy knobs.
+* ``dnuca``    — 8 MB 16-way D-NUCA, 128 banks, ss-performance or
+  ss-energy.
+* ``sa-nuca``  — the Figure 4 coupled-placement non-uniform cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.caches.hierarchy import CacheHierarchy, UniformLowerLevel
+from repro.caches.memory import MainMemory
+from repro.caches.setassoc_nonuniform import SetAssociativePlacementCache
+from repro.caches.simple import SetAssociativeCache
+from repro.cpu.core import CoreParams
+from repro.floorplan.dgroups import build_uniform_cache_spec
+from repro.nuca.cache import DNUCACache
+from repro.nuca.config import DNUCAConfig, SearchPolicy
+from repro.nurapid.cache import NuRAPIDCache
+from repro.nurapid.config import (
+    DistanceReplacementKind,
+    NuRAPIDConfig,
+    PromotionPolicy,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One simulated machine: the shared front end plus an L2 choice."""
+
+    name: str
+    l2_kind: str  # "base" | "nurapid" | "dnuca" | "sa-nuca" | "s-nuca"
+    core: CoreParams = field(default_factory=CoreParams)
+    nurapid: Optional[NuRAPIDConfig] = None
+    dnuca: Optional[DNUCAConfig] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.l2_kind not in {"base", "nurapid", "dnuca", "sa-nuca", "s-nuca"}:
+            raise ConfigurationError(f"unknown l2_kind {self.l2_kind!r}")
+        if self.l2_kind == "nurapid" and self.nurapid is None:
+            raise ConfigurationError("nurapid kind requires a NuRAPIDConfig")
+        if self.l2_kind == "dnuca" and self.dnuca is None:
+            raise ConfigurationError("dnuca kind requires a DNUCAConfig")
+
+
+# --- factory helpers for the paper's configurations ---
+
+
+def base_config() -> SystemConfig:
+    """The conventional L2/L3 hierarchy the paper normalizes against."""
+    return SystemConfig(name="base", l2_kind="base")
+
+
+def nurapid_config(
+    n_dgroups: int = 4,
+    promotion: PromotionPolicy = PromotionPolicy.NEXT_FASTEST,
+    distance_replacement: DistanceReplacementKind = DistanceReplacementKind.RANDOM,
+    restricted_frames: Optional[int] = None,
+    ideal_uniform: bool = False,
+    promotion_hysteresis: int = 1,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> SystemConfig:
+    """An 8 MB 8-way NuRAPID system."""
+    label = name or (
+        f"nurapid-{n_dgroups}dg-{promotion.value}-{distance_replacement.value}"
+        + ("-ideal" if ideal_uniform else "")
+        + (f"-hyst{promotion_hysteresis}" if promotion_hysteresis != 1 else "")
+    )
+    cache = NuRAPIDConfig(
+        n_dgroups=n_dgroups,
+        promotion=promotion,
+        distance_replacement=distance_replacement,
+        restricted_frames=restricted_frames,
+        ideal_uniform=ideal_uniform,
+        promotion_hysteresis=promotion_hysteresis,
+        seed=seed,
+    )
+    return SystemConfig(name=label, l2_kind="nurapid", nurapid=cache, seed=seed)
+
+
+def dnuca_config(
+    policy: SearchPolicy = SearchPolicy.SS_PERFORMANCE,
+    tail_insertion: bool = True,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> SystemConfig:
+    """The paper's 8 MB 16-way 128-bank D-NUCA system."""
+    label = name or f"dnuca-{policy.value}"
+    cache = DNUCAConfig(policy=policy, tail_insertion=tail_insertion, seed=seed)
+    return SystemConfig(name=label, l2_kind="dnuca", dnuca=cache, seed=seed)
+
+
+def sa_nuca_config(seed: int = 0) -> SystemConfig:
+    """The Figure 4 set-associative-placement non-uniform cache."""
+    return SystemConfig(name="sa-nuca", l2_kind="sa-nuca", seed=seed)
+
+
+def snuca_config(seed: int = 0) -> SystemConfig:
+    """The static NUCA baseline (Kim et al.'s S-NUCA-2 lineage)."""
+    return SystemConfig(name="s-nuca", l2_kind="s-nuca", seed=seed)
+
+
+# --- construction ---
+
+
+def _l1_spec(name: str):
+    return build_uniform_cache_spec(
+        name=name,
+        capacity_bytes=64 * KB,
+        block_bytes=32,
+        associativity=2,
+        latency_cycles=3,
+        sequential_tag_data=False,
+        energy_factor=6.4,
+    )
+
+
+def build_lower_level(config: SystemConfig):
+    """Build the level(s) below the L1s for a config."""
+    if config.l2_kind == "base":
+        l2 = SetAssociativeCache(
+            build_uniform_cache_spec(
+                name="L2",
+                capacity_bytes=1 * MB,
+                block_bytes=128,
+                associativity=8,
+                latency_cycles=11,
+            )
+        )
+        l3 = SetAssociativeCache(
+            build_uniform_cache_spec(
+                name="L3",
+                capacity_bytes=8 * MB,
+                block_bytes=128,
+                associativity=8,
+                latency_cycles=43,
+            )
+        )
+        return [UniformLowerLevel(l2), UniformLowerLevel(l3)]
+    if config.l2_kind == "nurapid":
+        assert config.nurapid is not None
+        return [NuRAPIDCache(config.nurapid)]
+    if config.l2_kind == "dnuca":
+        assert config.dnuca is not None
+        return [DNUCACache(config.dnuca)]
+    if config.l2_kind == "sa-nuca":
+        return [SetAssociativePlacementCache()]
+    if config.l2_kind == "s-nuca":
+        from repro.nuca.snuca import SNUCACache
+
+        return [SNUCACache()]
+    raise ConfigurationError(f"unknown l2_kind {config.l2_kind!r}")
+
+
+def build_system(config: SystemConfig):
+    """Assemble L1s + lower levels + memory into a hierarchy.
+
+    Returns ``(hierarchy, l1d, lower_levels, memory)``; the driver's
+    :class:`~repro.sim.driver.System` wraps these with a core model.
+    """
+    l1d = SetAssociativeCache(_l1_spec("L1d"))
+    l1i = SetAssociativeCache(_l1_spec("L1i"))
+    lower = build_lower_level(config)
+    memory = MainMemory()
+    hierarchy = CacheHierarchy(l1d=l1d, lower=lower, memory=memory, l1i=l1i)
+    return hierarchy, l1d, lower, memory

@@ -1,0 +1,219 @@
+"""The trace-driven run loop.
+
+One run: build the system, generate (or receive) the benchmark's
+trace, replay a warmup portion to populate the caches, reset all
+statistics, then replay the measured portion through the core timing
+model.  The default of 600k references with 25% warmup keeps a full
+suite sweep to minutes in pure Python while leaving ~100k+ measured L2
+accesses for the high-load applications; experiments scale
+``n_references`` for quick modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.cpu.core import CoreModel
+from repro.cpu.wattch import ProcessorEnergyModel
+from repro.sim.config import SystemConfig, build_system
+from repro.sim.results import RunResult, SuiteResult
+from repro.workloads.spec2k import BenchmarkProfile, get_benchmark
+from repro.workloads.trace import Trace
+from repro.workloads.tracegen import generate_trace
+
+DEFAULT_REFERENCES = 600_000
+DEFAULT_WARMUP_FRACTION = 0.25
+
+
+@dataclass
+class System:
+    """A built machine: hierarchy plus the books the driver reads."""
+
+    config: SystemConfig
+    hierarchy: object
+    l1d: object
+    l1i: object
+    lower: List[object]
+    memory: object
+
+    @property
+    def l2(self):
+        """The first level below the L1s (the cache under study)."""
+        return self.lower[0]
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1d, self.l1i):
+            cache.reset_stats()
+        for level in self.lower:
+            target = getattr(level, "cache", level)  # unwrap UniformLowerLevel
+            target.reset_stats()
+        self.hierarchy.stats.reset()
+        self.memory.reads = 0
+        self.memory.writes = 0
+
+
+def make_system(config: SystemConfig, prewarm: bool = True) -> System:
+    """Build a system; by default prewarm the lower levels.
+
+    Prewarming fills every cache frame with clean dummy blocks, the
+    trace-driven equivalent of the paper's 5-billion-instruction
+    fast-forward: replacement and distance-placement machinery start in
+    steady state instead of filling an empty 8 MB array.
+    """
+    hierarchy, l1d, lower, memory = build_system(config)
+    if prewarm:
+        for level in lower:
+            target = getattr(level, "cache", level)
+            target.prewarm()
+    return System(
+        config=config,
+        hierarchy=hierarchy,
+        l1d=l1d,
+        l1i=hierarchy.l1i,
+        lower=lower,
+        memory=memory,
+    )
+
+
+def _replay(system: System, core: CoreModel, trace: Trace) -> None:
+    """The hot loop: advance the core and walk the hierarchy."""
+    hierarchy = system.hierarchy
+    advance = core.advance_instructions
+    note = core.note_memory_result
+    access = hierarchy.access_data
+    for gap, address, is_write in trace.records():
+        advance(gap)
+        result = access(address, is_write, core.cycle)
+        note(address, result)
+
+
+def _l2_stats(system: System) -> Dict[str, float]:
+    """Normalize the L2's counters across organizations."""
+    l2 = system.l2
+    inner = getattr(l2, "cache", None)
+    if inner is not None:  # base hierarchy: a UniformLowerLevel wrapper
+        stats: Dict[str, float] = {
+            "accesses": float(inner.accesses),
+            "hits": float(inner.hits),
+            "misses": float(inner.misses),
+            "writebacks": float(inner.writebacks),
+        }
+        return stats
+    return dict(l2.stats.as_dict())
+
+
+def _dgroup_fractions(system: System) -> Dict[int, float]:
+    l2 = system.l2
+    dist = getattr(l2, "dgroup_hits", None)
+    if dist is None:
+        return {}
+    stats = _l2_stats(system)
+    accesses = stats.get("accesses", 0.0)
+    if not accesses:
+        return {}
+    return {k: v / accesses for k, v in dist.items()}
+
+
+def _lower_energy_nj(system: System) -> float:
+    total = 0.0
+    for level in system.lower:
+        target = getattr(level, "cache", level)
+        total += target.energy.total_nj()
+    return total
+
+
+def run_benchmark(
+    config: SystemConfig,
+    benchmark: str,
+    n_references: int = DEFAULT_REFERENCES,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    trace: Optional[Trace] = None,
+    energy_model: Optional[ProcessorEnergyModel] = None,
+    warm_set_conflict: int = 1,
+    prewarm: bool = True,
+) -> RunResult:
+    """Run one benchmark on one system and collect measurements."""
+    profile: BenchmarkProfile = get_benchmark(benchmark)
+    if trace is None:
+        trace = generate_trace(
+            profile, n_references, seed=seed, warm_set_conflict=warm_set_conflict
+        )
+    system = make_system(config, prewarm=prewarm)
+    warm, measured = trace.split(warmup_fraction)
+    if not len(measured):
+        raise ConfigurationError("no measured references after warmup split")
+
+    def new_core() -> CoreModel:
+        return CoreModel(
+            params=config.core,
+            core_ipc=profile.core_ipc,
+            exposure=profile.exposure,
+            branch_fraction=profile.branch_fraction,
+            mispredict_rate=profile.mispredict_rate,
+        )
+
+    warm_core = new_core()
+    if len(warm):
+        _replay(system, warm_core, warm)
+    system.reset_stats()
+
+    core = new_core()
+    # Continue on the warm core's timeline so port busy-times stay causal.
+    core.cycle = warm_core.cycle
+    start_cycle = core.cycle
+    start_instr = core.instructions
+    _replay(system, core, measured)
+
+    cycles = core.cycle - start_cycle
+    instructions = core.instructions - start_instr
+    l2_stats = _l2_stats(system)
+    model = energy_model if energy_model is not None else ProcessorEnergyModel()
+    l1_energy = system.l1d.energy.total_nj() + system.l1i.energy.total_nj()
+    lower_energy = _lower_energy_nj(system)
+
+    extra = dict(l2_stats)
+    extra["mshr_full_stalls"] = float(core.mshr_full_stalls)
+    extra["stall_cycles"] = core.stall_cycles
+    extra["branch_penalty_cycles"] = core.branch_penalty_cycles
+    extra["memory_accesses"] = float(core.memory_accesses)
+
+    return RunResult(
+        benchmark=benchmark,
+        config_name=config.name,
+        instructions=instructions,
+        cycles=cycles,
+        l2_accesses=int(l2_stats.get("accesses", 0)),
+        l2_hits=int(l2_stats.get("hits", 0)),
+        l2_misses=int(l2_stats.get("misses", 0)),
+        dgroup_fractions=_dgroup_fractions(system),
+        l1_energy_nj=l1_energy,
+        lower_energy_nj=lower_energy,
+        core_energy_nj=model.core_energy_nj(instructions, cycles),
+        stats=extra,
+    )
+
+
+def run_suite(
+    config: SystemConfig,
+    benchmarks: Iterable[str],
+    n_references: int = DEFAULT_REFERENCES,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    traces: Optional[Dict[str, Trace]] = None,
+) -> SuiteResult:
+    """Run a set of benchmarks on one configuration."""
+    runs: Dict[str, RunResult] = {}
+    for name in benchmarks:
+        trace = traces.get(name) if traces else None
+        runs[name] = run_benchmark(
+            config,
+            name,
+            n_references=n_references,
+            seed=seed,
+            warmup_fraction=warmup_fraction,
+            trace=trace,
+        )
+    return SuiteResult(config_name=config.name, runs=runs)

@@ -1,0 +1,136 @@
+"""Per-run result records and suite-level aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one (benchmark, system) run."""
+
+    benchmark: str
+    config_name: str
+    instructions: int
+    cycles: float
+    #: L2-level counts (measured portion only).
+    l2_accesses: int
+    l2_hits: int
+    l2_misses: int
+    #: Fraction of L2 accesses hitting each d-group (or D-NUCA level).
+    dgroup_fractions: Dict[int, float]
+    l1_energy_nj: float
+    lower_energy_nj: float
+    core_energy_nj: float
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l2_miss_fraction(self) -> float:
+        if not self.l2_accesses:
+            return 0.0
+        return self.l2_misses / self.l2_accesses
+
+    @property
+    def l2_apki(self) -> float:
+        """L2 accesses per kilo-instruction (the Table 3 metric)."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.l2_accesses / self.instructions
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.core_energy_nj + self.l1_energy_nj + self.lower_energy_nj
+
+    @property
+    def energy_delay(self) -> float:
+        return self.total_energy_nj * self.cycles
+
+
+def relative_performance(result: RunResult, base: RunResult) -> float:
+    """IPC ratio against the base system (the paper's y-axis)."""
+    if result.benchmark != base.benchmark:
+        raise ConfigurationError(
+            f"comparing {result.benchmark} against {base.benchmark}"
+        )
+    if base.ipc == 0:
+        raise ConfigurationError("base run has zero IPC")
+    return result.ipc / base.ipc
+
+
+def mean_distribution(results: List[RunResult], keys: List[int]) -> Dict[int, float]:
+    """Arithmetic mean of per-benchmark d-group fractions.
+
+    Matches the paper's figures, which average the per-application
+    stacked bars rather than pooling raw access counts.
+    """
+    if not results:
+        raise ConfigurationError("no results to average")
+    return {
+        key: sum(r.dgroup_fractions.get(key, 0.0) for r in results) / len(results)
+        for key in keys
+    }
+
+
+def mean_miss_fraction(results: List[RunResult]) -> float:
+    if not results:
+        raise ConfigurationError("no results to average")
+    return sum(r.l2_miss_fraction for r in results) / len(results)
+
+
+@dataclass
+class SuiteResult:
+    """All benchmarks' runs for one system configuration."""
+
+    config_name: str
+    runs: Dict[str, RunResult]
+
+    def relative_to(self, base: "SuiteResult") -> Dict[str, float]:
+        """Per-benchmark relative performance against a base suite."""
+        shared = [b for b in self.runs if b in base.runs]
+        if not shared:
+            raise ConfigurationError("suites share no benchmarks")
+        return {
+            b: relative_performance(self.runs[b], base.runs[b]) for b in shared
+        }
+
+    def mean_relative(self, base: "SuiteResult", benchmarks=None) -> float:
+        """Arithmetic-mean relative performance (the paper's 'average')."""
+        rel = self.relative_to(base)
+        names = benchmarks if benchmarks is not None else sorted(rel)
+        values = [rel[b] for b in names if b in rel]
+        if not values:
+            raise ConfigurationError("no shared benchmarks to average")
+        return sum(values) / len(values)
+
+    def mean_dgroup_fractions(self, keys: List[int]) -> Dict[int, float]:
+        return mean_distribution(list(self.runs.values()), keys)
+
+    def mean_miss_fraction(self) -> float:
+        return mean_miss_fraction(list(self.runs.values()))
+
+    def total_lower_energy_nj(self) -> float:
+        return sum(r.lower_energy_nj for r in self.runs.values())
+
+    def stat_total(self, name: str) -> float:
+        return sum(r.stats.get(name, 0.0) for r in self.runs.values())
+
+
+def format_fraction_table(
+    rows: Mapping[str, Mapping[int, float]], keys: List[int], miss: Mapping[str, float]
+) -> str:
+    """Render stacked-bar data (per-benchmark fractions) as text."""
+    header = "benchmark".ljust(12) + "".join(f"dg{k:>2}   " for k in keys) + "miss"
+    lines = [header]
+    for name in rows:
+        cells = "".join(f"{rows[name].get(k, 0.0):6.1%} " for k in keys)
+        lines.append(f"{name:<12}{cells}{miss.get(name, 0.0):6.1%}")
+    return "\n".join(lines)

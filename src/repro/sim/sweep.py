@@ -1,0 +1,124 @@
+"""Parameter-sweep utility over system configurations.
+
+A thin declarative layer used by the design-space example and handy
+for one-off studies: name a few axes (each a list of SystemConfig
+factories or values), take their cross product, run each point over a
+benchmark list with shared traces, and collect a tidy result grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_benchmark
+from repro.sim.results import RunResult
+from repro.workloads.spec2k import get_benchmark
+from repro.workloads.trace import Trace
+from repro.workloads.tracegen import generate_trace
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept dimension: a name and its candidate values."""
+
+    name: str
+    values: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError(f"axis {self.name!r} has no values")
+
+
+@dataclass
+class SweepPoint:
+    """One point of the cross product with its per-benchmark results."""
+
+    coordinates: Dict[str, object]
+    config: SystemConfig
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+
+    def mean_ipc(self) -> float:
+        if not self.runs:
+            raise ConfigurationError("point has no runs")
+        return sum(r.ipc for r in self.runs.values()) / len(self.runs)
+
+    def mean_relative(self, base: "SweepPoint") -> float:
+        shared = [b for b in self.runs if b in base.runs]
+        if not shared:
+            raise ConfigurationError("no shared benchmarks with base point")
+        return sum(self.runs[b].ipc / base.runs[b].ipc for b in shared) / len(shared)
+
+
+class Sweep:
+    """Cross-product sweep runner with shared traces."""
+
+    def __init__(
+        self,
+        axes: Sequence[SweepAxis],
+        build: Callable[..., SystemConfig],
+        benchmarks: Iterable[str],
+        n_references: int = 200_000,
+        seed: int = 1,
+        warmup_fraction: float = 0.4,
+    ) -> None:
+        if not axes:
+            raise ConfigurationError("sweep needs at least one axis")
+        self.axes = list(axes)
+        self.build = build
+        self.benchmarks = list(benchmarks)
+        if not self.benchmarks:
+            raise ConfigurationError("sweep needs at least one benchmark")
+        self.n_references = n_references
+        self.seed = seed
+        self.warmup_fraction = warmup_fraction
+        self._traces: Dict[str, Trace] = {}
+
+    def _trace(self, benchmark: str) -> Trace:
+        if benchmark not in self._traces:
+            self._traces[benchmark] = generate_trace(
+                get_benchmark(benchmark), self.n_references, seed=self.seed
+            )
+        return self._traces[benchmark]
+
+    def points(self) -> List[SweepPoint]:
+        """The un-run cross product (for inspection or custom driving)."""
+        names = [axis.name for axis in self.axes]
+        result = []
+        for combo in itertools.product(*(axis.values for axis in self.axes)):
+            coordinates = dict(zip(names, combo))
+            config = self.build(**coordinates)
+            if not isinstance(config, SystemConfig):
+                raise ConfigurationError("build() must return a SystemConfig")
+            result.append(SweepPoint(coordinates=coordinates, config=config))
+        return result
+
+    def run(self) -> List[SweepPoint]:
+        """Run every point over every benchmark; returns filled points."""
+        points = self.points()
+        for point in points:
+            for benchmark in self.benchmarks:
+                point.runs[benchmark] = run_benchmark(
+                    point.config,
+                    benchmark,
+                    trace=self._trace(benchmark),
+                    warmup_fraction=self.warmup_fraction,
+                    seed=self.seed,
+                )
+        return points
+
+
+def tabulate(points: Sequence[SweepPoint], metric: Callable[[SweepPoint], float]) -> str:
+    """Render sweep results as an aligned text table."""
+    if not points:
+        raise ConfigurationError("nothing to tabulate")
+    names = list(points[0].coordinates)
+    header = "  ".join(f"{n:<16}" for n in names) + "  metric"
+    lines = [header]
+    for point in points:
+        cells = "  ".join(f"{str(point.coordinates[n]):<16}" for n in names)
+        lines.append(f"{cells}  {metric(point):.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Technology and circuit models (a "mini-Cacti").
+
+The paper derives d-group latencies and per-access energies from a
+modified Cacti 3 at 70 nm / 5 GHz (§4, Tables 2 and 4).  This package
+provides the equivalent substrate:
+
+* :mod:`repro.tech.params` — 70 nm process constants and calibration
+  knobs,
+* :mod:`repro.tech.wires` — repeated-wire RC delay and switching
+  energy,
+* :mod:`repro.tech.subarray` — SRAM subarray timing/energy/area,
+* :mod:`repro.tech.cacti` — whole-cache (or tagless d-group) analytical
+  model with a subarray-organization search, and
+* :mod:`repro.tech.energy` — the per-operation energy book that caches
+  charge against.
+
+Absolute numbers are calibrated to land near the paper's tables; the
+*structure* (larger arrays are slower, farther arrays cost more wire
+energy) is physical and uncalibrated.
+"""
+
+from repro.tech.params import TechnologyParams, TECH_70NM
+from repro.tech.wires import WireModel
+from repro.tech.subarray import SubarrayModel
+from repro.tech.cacti import ArrayOrganization, CacheArrayModel, MiniCacti
+from repro.tech.energy import EnergyBook
+from repro.tech.ecc import InterleavingPlan, SECDED
+from repro.tech.leakage import LeakageModel, LeakageParams
+
+__all__ = [
+    "ArrayOrganization",
+    "InterleavingPlan",
+    "LeakageModel",
+    "LeakageParams",
+    "SECDED",
+    "CacheArrayModel",
+    "EnergyBook",
+    "MiniCacti",
+    "SubarrayModel",
+    "TECH_70NM",
+    "TechnologyParams",
+    "WireModel",
+]

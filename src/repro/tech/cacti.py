@@ -1,0 +1,250 @@
+"""Analytical whole-array cache model ("mini-Cacti").
+
+The paper modifies Cacti 3 to (1) treat each d-group as an independent
+tagless cache optimized for size and access time, (2) account for the
+wire delay to route around closer d-groups, and (3) optimize the
+unified tag array for access time (§4).  This module reproduces step
+(1) and (3): given a capacity and output width it searches subarray
+organizations, composes tile delay with H-tree routing, and reports
+access time, per-access energy, and area.  Step (2) — placement-
+dependent routing — lives in :mod:`repro.floorplan`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.tech.params import TECH_70NM, TechnologyParams
+from repro.tech.subarray import SubarrayModel
+from repro.tech.wires import WireModel
+
+#: Candidate subarray dimensions explored by the organization search.
+_ROW_CANDIDATES = (64, 128, 256, 512, 1024)
+_COL_CANDIDATES = (64, 128, 256, 512, 1024, 2048)
+
+#: Physical address bits routed to subarrays on each access.
+ADDRESS_BITS = 44
+
+
+@dataclass(frozen=True)
+class ArrayOrganization:
+    """A concrete tiling of an array into identical subarrays."""
+
+    subarray: SubarrayModel
+    count: int
+    grid_width: int
+    grid_height: int
+
+    @property
+    def width_mm(self) -> float:
+        overhead = math.sqrt(self.subarray.tech.array_overhead)
+        return self.grid_width * self.subarray.width_mm * overhead
+
+    @property
+    def height_mm(self) -> float:
+        overhead = math.sqrt(self.subarray.tech.array_overhead)
+        return self.grid_height * self.subarray.height_mm * overhead
+
+    @property
+    def htree_levels(self) -> int:
+        """Branching depth of the H-tree distributing the address."""
+        return max(1, math.ceil(math.log2(self.count))) if self.count > 1 else 1
+
+    @property
+    def area_mm2(self) -> float:
+        return self.count * self.subarray.area_mm2
+
+    @property
+    def routing_distance_mm(self) -> float:
+        """H-tree distance from the array edge to the farthest tile."""
+        return (self.width_mm + self.height_mm) / 2.0
+
+
+@dataclass(frozen=True)
+class CacheArrayModel:
+    """Timing/energy/area of one array (a d-group, bank, or tag array).
+
+    ``access_time_ps`` covers decode through data-at-edge for the
+    array itself; routing from the processor to the array's edge is the
+    floorplan's job.
+    """
+
+    name: str
+    tech: TechnologyParams
+    capacity_bits: int
+    output_bits: int
+    organization: ArrayOrganization
+    access_time_ps: float
+    read_energy_pj: float
+    compare_bits: int = 0
+
+    @property
+    def area_mm2(self) -> float:
+        return self.organization.area_mm2
+
+    @property
+    def access_cycles(self) -> int:
+        return self.tech.ps_to_cycles(self.access_time_ps)
+
+    @property
+    def read_energy_nj(self) -> float:
+        return self.read_energy_pj / 1000.0
+
+    def write_energy_pj(self) -> float:
+        """Writes swing full bitlines; charge a small premium over reads."""
+        return self.read_energy_pj * 1.15
+
+
+class MiniCacti:
+    """Searches subarray organizations and builds :class:`CacheArrayModel` s."""
+
+    def __init__(self, tech: TechnologyParams = TECH_70NM) -> None:
+        self.tech = tech
+        self.wires = WireModel(tech)
+
+    # --- public constructors ---
+
+    def data_array(
+        self,
+        capacity_bytes: int,
+        block_bytes: int,
+        name: str = "",
+        extra_bits_per_block: int = 0,
+    ) -> CacheArrayModel:
+        """A tagless data array (a NuRAPID d-group or conventional data side).
+
+        One access reads a full ``block_bytes`` block.
+        ``extra_bits_per_block`` widens every frame (NuRAPID's reverse
+        pointer rides alongside the data — §2.2).
+        """
+        if capacity_bytes <= 0 or block_bytes <= 0:
+            raise ConfigurationError("capacity and block size must be positive")
+        if capacity_bytes % block_bytes:
+            raise ConfigurationError("capacity must be a whole number of blocks")
+        if extra_bits_per_block < 0:
+            raise ConfigurationError("extra_bits_per_block must be non-negative")
+        blocks = capacity_bytes // block_bytes
+        bits_per_block = block_bytes * 8 + extra_bits_per_block
+        return self._build(
+            name=name or f"data-{capacity_bytes // 1024}KB",
+            capacity_bits=blocks * bits_per_block,
+            output_bits=bits_per_block,
+            compare_bits=0,
+        )
+
+    def tag_array(
+        self,
+        sets: int,
+        associativity: int,
+        entry_bits: int,
+        name: str = "",
+    ) -> CacheArrayModel:
+        """A set-associative tag array; one access reads a full set of tags.
+
+        ``entry_bits`` includes tag, state, and (for NuRAPID) the
+        forward pointer — the paper notes the pointer only makes the tag
+        array "a little wider than usual" (§2.1).
+        """
+        if sets <= 0 or associativity <= 0 or entry_bits <= 0:
+            raise ConfigurationError("tag array parameters must be positive")
+        model = self._build(
+            name=name or f"tag-{sets}x{associativity}",
+            capacity_bits=sets * associativity * entry_bits,
+            output_bits=associativity * entry_bits,
+            compare_bits=associativity * entry_bits,
+        )
+        return model
+
+    # --- organization search ---
+
+    def _build(
+        self,
+        name: str,
+        capacity_bits: int,
+        output_bits: int,
+        compare_bits: int,
+    ) -> CacheArrayModel:
+        best: Optional[Tuple[float, float, ArrayOrganization]] = None
+        for org in self._organizations(capacity_bits):
+            delay = self._access_time_ps(org, compare_bits)
+            energy = self._read_energy_pj(org, output_bits, compare_bits)
+            # Optimize for access time first (the paper's objective for
+            # both d-groups and the tag array), then energy.
+            key = (delay, energy)
+            if best is None or key < (best[0], best[1]):
+                best = (delay, energy, org)
+        if best is None:
+            raise ConfigurationError(f"no valid organization for {capacity_bits} bits")
+        delay, energy, org = best
+        return CacheArrayModel(
+            name=name,
+            tech=self.tech,
+            capacity_bits=capacity_bits,
+            output_bits=output_bits,
+            organization=org,
+            access_time_ps=delay,
+            read_energy_pj=energy,
+            compare_bits=compare_bits,
+        )
+
+    def _organizations(self, capacity_bits: int) -> Iterable[ArrayOrganization]:
+        # Arrays smaller than the smallest tile (tiny tag arrays) just
+        # occupy one minimally-sized tile.
+        min_tile = _ROW_CANDIDATES[0] * _COL_CANDIDATES[0]
+        if capacity_bits < min_tile:
+            yield ArrayOrganization(
+                subarray=SubarrayModel(
+                    self.tech, _ROW_CANDIDATES[0], _COL_CANDIDATES[0]
+                ),
+                count=1,
+                grid_width=1,
+                grid_height=1,
+            )
+            return
+        for rows in _ROW_CANDIDATES:
+            for cols in _COL_CANDIDATES:
+                tile_bits = rows * cols
+                if tile_bits > capacity_bits:
+                    continue
+                count = math.ceil(capacity_bits / tile_bits)
+                grid_w = math.ceil(math.sqrt(count))
+                grid_h = math.ceil(count / grid_w)
+                yield ArrayOrganization(
+                    subarray=SubarrayModel(self.tech, rows, cols),
+                    count=count,
+                    grid_width=grid_w,
+                    grid_height=grid_h,
+                )
+
+    def _access_time_ps(self, org: ArrayOrganization, compare_bits: int) -> float:
+        tile = org.subarray
+        routing = self.wires.round_trip_ps(org.routing_distance_mm)
+        routing *= self.tech.internal_wire_factor
+        routing += org.htree_levels * self.tech.htree_level_ps
+        capacity_mb = org.count * tile.bits / (8 * 1024 * 1024)
+        penalty = (
+            max(0.0, capacity_mb - 2.0) ** 2
+            * self.tech.large_array_penalty_ps_per_mb2
+        )
+        delay = tile.access_delay_ps + routing + penalty
+        if compare_bits:
+            # Comparators and way-select mux after the tags arrive.
+            delay += 4.0 * self.tech.fo4_ps
+        return delay
+
+    def _read_energy_pj(self, org: ArrayOrganization, output_bits: int, compare_bits: int) -> float:
+        tile = org.subarray
+        activated = max(1, math.ceil(output_bits / tile.cols))
+        activated = min(activated, org.count)
+        bits_per_tile = math.ceil(output_bits / activated)
+        tiles = activated * tile.read_energy_pj(min(bits_per_tile, tile.cols))
+        # Address fans out over the H-tree; data returns along a single
+        # H-tree path whose average length is a third of the maximum
+        # (output muxing keeps frequently-selected tiles near the port).
+        address = self.wires.energy_pj(org.routing_distance_mm, ADDRESS_BITS)
+        data = self.wires.energy_pj(org.routing_distance_mm / 3.0, output_bits)
+        compare = compare_bits * self.tech.compare_energy_pj_per_bit
+        return tiles + address + data + compare

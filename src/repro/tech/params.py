@@ -1,0 +1,111 @@
+"""Process technology parameters.
+
+All experiments in the paper run at 70 nm and 5 GHz (§4).  The
+constants below are representative of a 70 nm process (ITRS-era
+projections, the same vintage Cacti 3 extrapolated to); the handful
+marked *calibration* are tuned so the mini-Cacti outputs land near the
+paper's Table 2 (energies) and Table 4 (latencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """A process corner plus the clock the system runs at.
+
+    Units are explicit in the field names: seconds, meters (mm), farads
+    (fF), joules (pJ) as noted.
+    """
+
+    name: str
+    feature_nm: float
+    vdd: float
+    clock_ghz: float
+    # One fan-out-of-4 inverter delay; the basic unit of logic delay.
+    fo4_ps: float
+    # Repeated global wire: effective signal velocity and switching energy.
+    wire_delay_ps_per_mm: float
+    wire_energy_pj_per_bit_mm: float
+    # 6T SRAM cell footprint (square micrometres) including intra-array
+    # overhead (wordline drivers amortized, well spacing).
+    sram_cell_um2: float
+    # Area overhead factor for inter-subarray routing channels.
+    array_overhead: float
+    # Per-subarray peripheral strips (decoder edge, sense-amp edge), um.
+    decode_strip_um: float
+    sense_strip_um: float
+    # Buffer delay per H-tree branching level (ps).
+    htree_level_ps: float
+    # Intra-array wires are thinner local metal with sparser repeaters
+    # than the global fabric; their effective velocity is this factor
+    # slower.  *Calibration.*
+    internal_wire_factor: float
+    # Cacti 3 shows superlinear access-time growth for monolithic
+    # arrays beyond ~2 MB (bitline/wordline partitioning limits); this
+    # quadratic penalty reproduces that knee.  *Calibration.*
+    large_array_penalty_ps_per_mb2: float
+    # Bitline energy per cell on an activated wordline (pJ); dominated
+    # by bitline swing and sense amplification.  *Calibration.*
+    bitline_energy_pj_per_cell: float
+    # Sense amp + output driver delay (ps) and energy per output bit (pJ).
+    sense_delay_ps: float
+    sense_energy_pj_per_bit: float
+    # Row decoder: delay per doubling of rows, plus fixed predecode (ps).
+    decode_ps_per_level: float
+    decode_fixed_ps: float
+    decode_energy_pj: float
+    # Comparator energy per tag bit compared (pJ).
+    compare_energy_pj_per_bit: float
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ConfigurationError("clock_ghz must be positive")
+        if self.fo4_ps <= 0 or self.wire_delay_ps_per_mm <= 0:
+            raise ConfigurationError("delays must be positive")
+
+    @property
+    def cycle_ps(self) -> float:
+        """Clock period in picoseconds."""
+        return 1000.0 / self.clock_ghz
+
+    def ps_to_cycles(self, delay_ps: float) -> int:
+        """Round a delay up to whole clock cycles (pipeline registers)."""
+        if delay_ps < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_ps}")
+        cycles = int(delay_ps / self.cycle_ps)
+        if cycles * self.cycle_ps < delay_ps - 1e-9:
+            cycles += 1
+        return max(cycles, 1)
+
+
+#: The 70 nm / 5 GHz corner used throughout the paper's evaluation.
+TECH_70NM = TechnologyParams(
+    name="70nm-5GHz",
+    feature_nm=70.0,
+    vdd=0.9,
+    clock_ghz=5.0,
+    fo4_ps=17.5,
+    # ~16 mm/ns for optimally repeated global wire at this node; routing
+    # around other d-groups uses the same fabric.
+    wire_delay_ps_per_mm=62.0,
+    wire_energy_pj_per_bit_mm=0.17,
+    sram_cell_um2=0.7,
+    array_overhead=1.2,
+    decode_strip_um=22.0,
+    sense_strip_um=28.0,
+    htree_level_ps=11.0,
+    internal_wire_factor=1.5,
+    large_array_penalty_ps_per_mb2=125.0,
+    bitline_energy_pj_per_cell=0.00115,
+    sense_delay_ps=90.0,
+    sense_energy_pj_per_bit=0.009,
+    decode_ps_per_level=14.0,
+    decode_fixed_ps=30.0,
+    decode_energy_pj=1.8,
+    compare_energy_pj_per_bit=0.04,
+)

@@ -1,0 +1,108 @@
+"""SRAM subarray timing, energy, and area.
+
+A subarray is the atomic SRAM tile: a grid of 6T cells with a row
+decoder on one edge and sense amplifiers on another.  Large caches are
+built from many subarrays (the Itanium II's 3 MB L3 uses 135 of them —
+§3.1); the :mod:`repro.tech.cacti` model composes these tiles and adds
+inter-tile routing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.tech.params import TechnologyParams
+
+
+@dataclass(frozen=True)
+class SubarrayModel:
+    """A ``rows`` x ``cols`` SRAM tile (cols counted in bits).
+
+    Delay components follow the classic Cacti decomposition: predecode
+    + row decode, wordline RC across the tile, bitline RC down the
+    tile, then sensing.  Within-tile wires are thin local metal; we
+    model their RC with the elmore-style square-law term rather than
+    the repeated-wire velocity used between tiles.
+    """
+
+    tech: TechnologyParams
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 2:
+            raise ConfigurationError(
+                f"subarray must be at least 2x2, got {self.rows}x{self.cols}"
+            )
+        if self.rows & (self.rows - 1) or self.cols & (self.cols - 1):
+            raise ConfigurationError("subarray dimensions must be powers of two")
+
+    # --- geometry ---
+
+    @property
+    def bits(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def width_mm(self) -> float:
+        """Physical width (along the wordline), including the decoder strip."""
+        cell_edge_um = math.sqrt(self.tech.sram_cell_um2)
+        return (self.cols * cell_edge_um + self.tech.decode_strip_um) / 1000.0
+
+    @property
+    def height_mm(self) -> float:
+        """Physical height (along the bitline), including the sense strip."""
+        cell_edge_um = math.sqrt(self.tech.sram_cell_um2)
+        return (self.rows * cell_edge_um + self.tech.sense_strip_um) / 1000.0
+
+    @property
+    def area_mm2(self) -> float:
+        """Tile area including peripheral strips and routing overhead.
+
+        The per-tile strips are what make armies of tiny tiles
+        unattractive: halving the tile dimensions quadruples the number
+        of strips paid for the same capacity.
+        """
+        return self.width_mm * self.height_mm * self.tech.array_overhead
+
+    # --- timing ---
+
+    @property
+    def decode_delay_ps(self) -> float:
+        levels = max(1, int(math.ceil(math.log2(self.rows))))
+        return self.tech.decode_fixed_ps + levels * self.tech.decode_ps_per_level
+
+    @property
+    def wordline_delay_ps(self) -> float:
+        # Local-wire RC grows quadratically with length but the lengths
+        # are sub-millimetre; fold the constants into the global wire
+        # velocity with a 0.5 distributed-RC factor.
+        return 0.5 * self.width_mm * self.tech.wire_delay_ps_per_mm
+
+    @property
+    def bitline_delay_ps(self) -> float:
+        return 0.5 * self.height_mm * self.tech.wire_delay_ps_per_mm
+
+    @property
+    def access_delay_ps(self) -> float:
+        """Decode through sense for one read of this tile."""
+        return (
+            self.decode_delay_ps
+            + self.wordline_delay_ps
+            + self.bitline_delay_ps
+            + self.tech.sense_delay_ps
+        )
+
+    # --- energy ---
+
+    def read_energy_pj(self, bits_out: int) -> float:
+        """Energy of one read activating a full row, sensing ``bits_out``."""
+        if bits_out < 0 or bits_out > self.cols:
+            raise ConfigurationError(
+                f"bits_out must be in [0, {self.cols}], got {bits_out}"
+            )
+        bitline = self.cols * self.tech.bitline_energy_pj_per_cell
+        sense = bits_out * self.tech.sense_energy_pj_per_bit
+        return self.tech.decode_energy_pj + bitline + sense

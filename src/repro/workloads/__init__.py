@@ -1,0 +1,43 @@
+"""Synthetic SPEC2K-like workloads.
+
+The paper drives its evaluation with 15 SPEC2K applications (Table 3),
+fast-forwarded 5 B instructions and run for 500 M on ref inputs.
+Without SPEC binaries or SimpleScalar, each application is modeled as
+a stochastic reference stream (see :mod:`repro.workloads.tracegen`)
+shaped by a :class:`~repro.workloads.spec2k.BenchmarkProfile`:
+
+* a *hot* region that fits in the L1 (pipelined hits),
+* a *warm* region sized around the fastest d-group's capacity — the
+  working set whose placement the paper's policies fight over,
+* a *bulk* region with a Zipf popularity tail spanning multiple
+  megabytes (spread over the slower d-groups), and
+* a *streaming* component of compulsory misses.
+
+Per-application L2 accesses per kilo-instruction and base IPC follow
+Table 3 (cells the scan lost are reconstructed and marked in
+EXPERIMENTS.md).  Stack-frequency streams reproduce the property the
+results rest on: hit-rate-vs-capacity curves and hot-set reuse.
+"""
+
+from repro.workloads.spec2k import (
+    BenchmarkProfile,
+    SPEC2K_SUITE,
+    get_benchmark,
+    high_load_names,
+    low_load_names,
+    suite_names,
+)
+from repro.workloads.trace import Trace
+from repro.workloads.tracegen import TraceGenerator, generate_trace
+
+__all__ = [
+    "BenchmarkProfile",
+    "SPEC2K_SUITE",
+    "Trace",
+    "TraceGenerator",
+    "generate_trace",
+    "get_benchmark",
+    "high_load_names",
+    "low_load_names",
+    "suite_names",
+]

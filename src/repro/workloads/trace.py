@@ -1,0 +1,103 @@
+"""Trace containers and on-disk format.
+
+A trace is a sequence of records ``(gap, address, is_write)``: the
+number of instructions retired since the previous record (including
+the memory instruction itself) and the reference it ends with.  Traces
+are stored columnar in numpy arrays — tens of millions of records fit
+comfortably — and can be cached to ``.npz`` files so experiment suites
+generate each benchmark's stream once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Columnar reference trace plus its provenance."""
+
+    benchmark: str
+    gaps: np.ndarray
+    addresses: np.ndarray
+    writes: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.gaps)
+        if len(self.addresses) != n or len(self.writes) != n:
+            raise ConfigurationError("trace columns must have equal length")
+        if n and int(self.gaps.min()) < 1:
+            raise ConfigurationError("gaps must be >= 1 (each record is an instruction)")
+
+    def __len__(self) -> int:
+        return len(self.gaps)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented, including the references."""
+        return int(self.gaps.sum())
+
+    @property
+    def references(self) -> int:
+        return len(self.gaps)
+
+    def records(self) -> Iterator[Tuple[int, int, bool]]:
+        """Iterate (gap, address, is_write) as Python scalars."""
+        gaps = self.gaps.tolist()
+        addresses = self.addresses.tolist()
+        writes = self.writes.tolist()
+        return zip(gaps, addresses, writes)
+
+    def head(self, n: int) -> "Trace":
+        """First ``n`` records (used for warmup splits and quick runs)."""
+        if n < 0:
+            raise ConfigurationError("head length must be non-negative")
+        return Trace(
+            benchmark=self.benchmark,
+            gaps=self.gaps[:n],
+            addresses=self.addresses[:n],
+            writes=self.writes[:n],
+        )
+
+    def split(self, fraction: float) -> Tuple["Trace", "Trace"]:
+        """Split into (warmup, measured) at ``fraction`` of the records."""
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError("split fraction must be in [0, 1)")
+        cut = int(len(self) * fraction)
+        warm = self.head(cut)
+        rest = Trace(
+            benchmark=self.benchmark,
+            gaps=self.gaps[cut:],
+            addresses=self.addresses[cut:],
+            writes=self.writes[cut:],
+        )
+        return warm, rest
+
+    # --- persistence ---
+
+    def save(self, path: str) -> None:
+        np.savez_compressed(
+            path,
+            benchmark=np.array(self.benchmark),
+            gaps=self.gaps,
+            addresses=self.addresses,
+            writes=self.writes,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        if not os.path.exists(path):
+            raise ConfigurationError(f"no trace file at {path}")
+        with np.load(path, allow_pickle=False) as data:
+            return cls(
+                benchmark=str(data["benchmark"]),
+                gaps=data["gaps"],
+                addresses=data["addresses"],
+                writes=data["writes"],
+            )

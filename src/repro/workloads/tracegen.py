@@ -1,0 +1,234 @@
+"""Synthetic reference-trace generation.
+
+Each benchmark's stream is a mixture of four components drawn per
+reference (vectorized with numpy for speed):
+
+* **hot** — uniform over a region that fits in the L1; these become
+  the pipelined L1 hits that dominate instruction throughput.
+* **warm** — Zipf-skewed reuse over the contended working set (0.7–3
+  MB); these are the L2 hits whose placement the paper's policies
+  fight over.
+* **bulk** — Zipf-tailed traffic over several to tens of megabytes;
+  spreads across slower d-groups and produces capacity misses.
+* **stream** — a sequential pointer; compulsory misses plus the
+  spatial reuse a 128 B block gives a smaller stride.
+
+Popularity ranks are permuted before being mapped to addresses so that
+"popular" is uncorrelated with set index; an optional set-conflict
+layout concentrates the warm region into a fraction of the L2's sets
+to create the hot sets §2.1 argues coupled placement handles badly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_seed
+from repro.workloads.spec2k import BenchmarkProfile
+from repro.workloads.trace import Trace
+
+#: Region base addresses, far enough apart never to alias.
+HOT_BASE = 0x1000_0000
+L2HOT_BASE = 0x2000_0000
+WARM_BASE = 0x4000_0000
+BULK_BASE = 0x8000_0000
+STREAM_BASE = 0x10_0000_0000
+
+#: Reference L2 set count used for the conflict layout (8 MB, 8-way,
+#: 128 B blocks).  The layout targets the cache under study.
+REFERENCE_L2_SETS = 8192
+REFERENCE_BLOCK = 128
+
+#: Granularity of hot-region references (an L1 block).
+HOT_GRAIN = 32
+
+
+def _scatter_tags(addresses: np.ndarray) -> np.ndarray:
+    """Permute address bits 20-27 within each region.
+
+    Real SPEC footprints are scattered over virtual pages, so blocks
+    sharing a cache set rarely share low-order tag bits.  Our regions
+    are compact, which would make D-NUCA's 7-bit partial tags alias on
+    nearly every miss and neuter its early-miss detection.  A bijective
+    odd-multiplier permutation of bits 20-27 spreads the tags the way
+    page allocation does, while leaving every cache's set-index bits
+    (all below bit 20) and the region bases (at bit 28 and above)
+    untouched.
+    """
+    window = (addresses >> 20) & 0xFF
+    permuted = (window * 167 + 89) & 0xFF  # odd multiplier: a bijection mod 256
+    return (addresses & ~(0xFF << 20)) | (permuted << 20)
+
+
+def _zipf_sampler(rng: np.random.Generator, n_items: int, alpha: float):
+    """Return a function drawing Zipf(alpha)-distributed ranks < n_items."""
+    if n_items <= 0:
+        raise ConfigurationError("zipf needs a positive item count")
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+
+    def draw(count: int) -> np.ndarray:
+        return np.searchsorted(cdf, rng.random(count), side="left")
+
+    return draw
+
+
+@dataclass
+class TraceGenerator:
+    """Deterministic generator for one benchmark profile."""
+
+    profile: BenchmarkProfile
+    seed: int = 0
+    warm_set_conflict: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warm_set_conflict < 1:
+            raise ConfigurationError("warm_set_conflict must be >= 1")
+        if self.warm_set_conflict == 1:
+            # Default to the profile's own conflict layout.
+            self.warm_set_conflict = self.profile.warm_set_conflict
+        self._rng = np.random.default_rng(
+            derive_seed(self.seed, f"trace/{self.profile.name}")
+        )
+
+    # --- address construction ---
+
+    def _conflict_layout(self, blocks: np.ndarray, base: int) -> np.ndarray:
+        """Lay blocks out contiguously, or into every c-th set.
+
+        With conflict c > 1 block i lands in set (i mod sets/c) * c,
+        layer i // (sets/c): the region concentrates into a fraction of
+        the sets, creating the hot sets coupled placement handles badly.
+        """
+        c = self.warm_set_conflict
+        if c == 1:
+            return base + blocks.astype(np.int64) * REFERENCE_BLOCK
+        sets_used = max(1, REFERENCE_L2_SETS // c)
+        set_id = (blocks % sets_used) * c
+        layer = blocks // sets_used
+        slot = layer.astype(np.int64) * REFERENCE_L2_SETS + set_id
+        return base + slot * REFERENCE_BLOCK
+
+    def _warm_addresses(self, ranks: np.ndarray) -> np.ndarray:
+        """Map warm popularity ranks to (optionally conflicting) addresses."""
+        p = self.profile
+        n_blocks = max(1, p.warm_bytes // REFERENCE_BLOCK)
+        perm = np.random.default_rng(
+            derive_seed(self.seed, f"perm-warm/{p.name}")
+        ).permutation(n_blocks)
+        blocks = perm[np.minimum(ranks, n_blocks - 1)]
+        return self._conflict_layout(blocks, WARM_BASE)
+
+    def _bulk_addresses(self, ranks: np.ndarray) -> np.ndarray:
+        p = self.profile
+        n_blocks = max(1, p.bulk_bytes // REFERENCE_BLOCK)
+        perm = np.random.default_rng(
+            derive_seed(self.seed, f"perm-bulk/{p.name}")
+        ).permutation(n_blocks)
+        blocks = perm[np.minimum(ranks, n_blocks - 1)]
+        return BULK_BASE + blocks.astype(np.int64) * REFERENCE_BLOCK
+
+    # --- generation ---
+
+    def generate(self, n_references: int) -> Trace:
+        """Produce ``n_references`` records."""
+        if n_references <= 0:
+            raise ConfigurationError("n_references must be positive")
+        p = self.profile
+        rng = self._rng
+
+        beyond = p.beyond_l1_fraction
+        probs = np.array(
+            [
+                1.0 - beyond,
+                beyond * p.warm_share,
+                beyond * p.bulk_share,
+                beyond * p.stream_share,
+                beyond * p.l2hot_share,
+            ]
+        )
+        region = rng.choice(5, size=n_references, p=probs)
+
+        addresses = np.zeros(n_references, dtype=np.int64)
+
+        hot_mask = region == 0
+        n_hot_blocks = max(1, p.hot_bytes // HOT_GRAIN)
+        hot_blocks = rng.integers(0, n_hot_blocks, size=int(hot_mask.sum()))
+        addresses[hot_mask] = HOT_BASE + hot_blocks * HOT_GRAIN
+
+        warm_mask = region == 1
+        if warm_mask.any():
+            n_warm = max(1, p.warm_bytes // REFERENCE_BLOCK)
+            count = int(warm_mask.sum())
+            draw = _zipf_sampler(rng, n_warm, p.warm_zipf_alpha)
+            ranks = draw(count)
+            # Hot-head drift: a fraction of warm traffic concentrates
+            # on a sliding window of the region.  The window's blocks
+            # are cache-resident (no extra misses) but were last hot a
+            # phase ago — the blocks demotion-only placement strands.
+            window = max(1, int(n_warm * p.warm_head_window))
+            if p.warm_head_share > 0 and window < n_warm:
+                positions = np.flatnonzero(warm_mask)
+                phase = positions // max(1, p.warm_drift_period)
+                step_blocks = max(1, int(n_warm * p.warm_drift_step))
+                head = rng.random(count) < p.warm_head_share
+                offsets = rng.integers(0, window, size=count)
+                head_ranks = (phase * step_blocks + offsets) % n_warm
+                ranks = np.where(head, head_ranks, ranks)
+            addresses[warm_mask] = self._warm_addresses(ranks)
+
+        bulk_mask = region == 2
+        if bulk_mask.any():
+            n_bulk = max(1, p.bulk_bytes // REFERENCE_BLOCK)
+            draw = _zipf_sampler(rng, n_bulk, p.zipf_alpha)
+            addresses[bulk_mask] = self._bulk_addresses(draw(int(bulk_mask.sum())))
+
+        stream_mask = region == 3
+        n_stream = int(stream_mask.sum())
+        if n_stream:
+            steps = np.arange(1, n_stream + 1, dtype=np.int64)
+            # Wrap within 256 MB so the address space stays bounded on
+            # very long runs; the wrap period far exceeds cache reach.
+            offsets = (steps * p.stream_stride) % (256 * 1024 * 1024)
+            addresses[stream_mask] = STREAM_BASE + offsets
+
+        l2hot_mask = region == 4
+        if l2hot_mask.any():
+            n_l2hot = max(1, p.l2hot_bytes // REFERENCE_BLOCK)
+            draw = _zipf_sampler(rng, n_l2hot, 0.3)
+            ranks = draw(int(l2hot_mask.sum()))
+            perm = np.random.default_rng(
+                derive_seed(self.seed, f"perm-l2hot/{p.name}")
+            ).permutation(n_l2hot)
+            blocks = perm[np.minimum(ranks, n_l2hot - 1)]
+            addresses[l2hot_mask] = self._conflict_layout(
+                blocks, L2HOT_BASE
+            )
+
+        addresses = _scatter_tags(addresses)
+        gaps = rng.geometric(p.mem_fraction, size=n_references).astype(np.int64)
+        writes = rng.random(n_references) < p.write_fraction
+
+        return Trace(
+            benchmark=p.name,
+            gaps=gaps,
+            addresses=addresses,
+            writes=writes,
+        )
+
+
+def generate_trace(
+    profile: BenchmarkProfile,
+    n_references: int,
+    seed: int = 0,
+    warm_set_conflict: int = 1,
+) -> Trace:
+    """Convenience wrapper: one-shot trace for a profile."""
+    return TraceGenerator(
+        profile=profile, seed=seed, warm_set_conflict=warm_set_conflict
+    ).generate(n_references)

@@ -1,0 +1,77 @@
+"""Shared fixtures: small cache configurations that run fast.
+
+Unit tests use deliberately tiny caches (tens of KB) so exhaustive
+behaviours — demotion chains, evictions, promotion swaps — happen
+within a few hundred accesses.
+"""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.nurapid.config import (
+    DistanceReplacementKind,
+    NuRAPIDConfig,
+    PromotionPolicy,
+)
+from repro.nuca.config import DNUCAConfig, SearchPolicy
+
+KB = 1024
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRNG(1234, "tests")
+
+
+@pytest.fixture
+def small_nurapid_config():
+    """64 KB, 4-way, 4 d-groups, 64 B blocks: 1024 blocks, 256 sets."""
+    return NuRAPIDConfig(
+        capacity_bytes=64 * KB,
+        block_bytes=64,
+        associativity=4,
+        n_dgroups=4,
+        promotion=PromotionPolicy.NEXT_FASTEST,
+        distance_replacement=DistanceReplacementKind.RANDOM,
+        seed=7,
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def small_nurapid(small_nurapid_config):
+    from repro.nurapid.cache import NuRAPIDCache
+
+    return NuRAPIDCache(small_nurapid_config)
+
+
+@pytest.fixture
+def small_dnuca_config():
+    """512 KB, 16-way, 8 banks of 64 KB, 128 B blocks: 256 sets."""
+    return DNUCAConfig(
+        capacity_bytes=512 * KB,
+        block_bytes=128,
+        associativity=16,
+        bank_bytes=64 * KB,
+        chain_length=8,
+        policy=SearchPolicy.SS_PERFORMANCE,
+        seed=7,
+        name="tiny-nuca",
+    )
+
+
+@pytest.fixture
+def small_dnuca(small_dnuca_config):
+    from repro.nuca.cache import DNUCACache
+
+    return DNUCACache(small_dnuca_config)
+
+
+def block_addr_for_set(set_index: int, n_sets: int, block_bytes: int, tag: int = 0) -> int:
+    """Construct an address mapping to a given set with a given tag."""
+    return (tag * n_sets + set_index) * block_bytes
+
+
+@pytest.fixture
+def addr_for_set():
+    return block_addr_for_set

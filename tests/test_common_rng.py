@@ -1,0 +1,84 @@
+"""Deterministic RNG: reproducibility and stream independence."""
+
+import pytest
+
+from repro.common.rng import DeterministicRNG, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit_range(self):
+        s = derive_seed(123456, "label")
+        assert 0 <= s < 2**64
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(9, "x")
+        b = DeterministicRNG(9, "x")
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_labels_diverge(self):
+        a = DeterministicRNG(9, "x")
+        b = DeterministicRNG(9, "y")
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_consumption_isolation(self):
+        """Drawing from one stream never perturbs a sibling stream."""
+        parent = DeterministicRNG(9, "p")
+        child1 = parent.spawn("c")
+        expected = [child1.random() for _ in range(5)]
+        parent2 = DeterministicRNG(9, "p")
+        for _ in range(100):
+            parent2.random()
+        child2 = parent2.spawn("c")
+        assert [child2.random() for _ in range(5)] == expected
+
+    def test_randint_bounds(self):
+        rng = DeterministicRNG(1, "b")
+        values = [rng.randint(3, 5) for _ in range(100)]
+        assert set(values) <= {3, 4, 5}
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRNG(1, "u")
+        assert all(0.0 <= rng.random() < 1.0 for _ in range(100))
+
+    def test_choice(self):
+        rng = DeterministicRNG(1, "c")
+        seq = ["a", "b", "c"]
+        assert all(rng.choice(seq) in seq for _ in range(30))
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG(1, "s")
+        data = list(range(20))
+        shuffled = list(data)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == data
+
+    def test_geometric_mean_close_to_inverse_p(self):
+        rng = DeterministicRNG(1, "g")
+        draws = [rng.geometric(0.25) for _ in range(4000)]
+        assert all(d >= 1 for d in draws)
+        assert sum(draws) / len(draws) == pytest.approx(4.0, rel=0.1)
+
+    def test_geometric_invalid_p(self):
+        rng = DeterministicRNG(1, "g")
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)
+
+    def test_repr_mentions_label(self):
+        assert "label" in repr(DeterministicRNG(1, "label"))

@@ -1,0 +1,59 @@
+"""Vocabulary types: Access, AccessResult, and error paths."""
+
+import pytest
+
+from repro.common.types import Access, AccessResult, AccessType
+
+
+class TestAccessType:
+    def test_write_flag(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.READ.is_write
+        assert not AccessType.IFETCH.is_write
+
+
+class TestAccess:
+    def test_block_address_alignment(self):
+        a = Access(address=0x1234)
+        assert a.block_address(64) == 0x1200
+        assert a.block_address(4096) == 0x1000
+
+    def test_block_address_already_aligned(self):
+        assert Access(address=0x2000).block_address(128) == 0x2000
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Access(address=-1)
+
+    def test_defaults(self):
+        a = Access(address=8)
+        assert a.kind is AccessType.READ
+        assert a.pc == 0
+
+    def test_frozen(self):
+        a = Access(address=8)
+        with pytest.raises(AttributeError):
+            a.address = 9
+
+
+class TestAccessResult:
+    def test_merge_child_accumulates_latency_and_energy(self):
+        parent = AccessResult(hit=False, latency=3, level="L1", energy_nj=0.1)
+        child = AccessResult(hit=True, latency=14, level="L2", dgroup=0, energy_nj=0.5)
+        parent.merge_child(child)
+        assert parent.latency == 17
+        assert parent.energy_nj == pytest.approx(0.6)
+        assert parent.level == "L2"
+        assert parent.dgroup == 0
+
+    def test_merge_child_carries_writebacks(self):
+        parent = AccessResult(hit=False, latency=0, evicted_dirty=1)
+        child = AccessResult(hit=True, latency=5, evicted_dirty=2)
+        parent.merge_child(child)
+        assert parent.evicted_dirty == 3
+
+    def test_extra_dict_is_per_instance(self):
+        a = AccessResult(hit=True, latency=1)
+        b = AccessResult(hit=True, latency=1)
+        a.extra["x"] = 1
+        assert b.extra == {}

@@ -1,0 +1,68 @@
+"""The examples must stay runnable: execute each with tiny inputs."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(monkeypatch, capsys, path, argv):
+    monkeypatch.setattr(sys, "argv", argv)
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    # Shrink the loop so the example finishes in CI time.
+    import random
+
+    out_path = "examples/quickstart.py"
+    source = open(out_path).read()
+    assert "120_000" in source
+    shrunk = source.replace("120_000", "8_000")
+    namespace = {"__name__": "__main__", "random": random}
+    exec(compile(shrunk, out_path, "exec"), namespace)
+    out = capsys.readouterr().out
+    assert "NuRAPID demo cache" in out
+    assert "hits in d-group 0" in out
+
+
+def test_compare_architectures(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "examples/compare_architectures.py",
+        ["compare_architectures.py", "twolf", "40000"],
+    )
+    assert "benchmark: twolf" in out
+    assert "base" in out and "dnuca" in out.lower()
+
+
+def test_branch_predictor(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "examples/branch_predictor.py", ["branch_predictor.py"]
+    )
+    assert "hybrid" in out
+    assert "mispredict rate" in out
+
+
+@pytest.mark.slow
+def test_design_space(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "examples/design_space.py", ["design_space.py", "twolf"]
+    )
+    assert "d-groups" in out
+
+
+@pytest.mark.slow
+def test_custom_workload(monkeypatch, capsys):
+    from repro.workloads.spec2k import SPEC2K_SUITE
+
+    try:
+        out = run_example(
+            monkeypatch, capsys, "examples/custom_workload.py", ["custom_workload.py"]
+        )
+    finally:
+        # The example registers its profiles in the global suite;
+        # remove them so suite-shape tests stay valid.
+        SPEC2K_SUITE.pop("fits2mb", None)
+        SPEC2K_SUITE.pop("spills2mb", None)
+    assert "fits2mb" in out

@@ -1,0 +1,143 @@
+"""Extension features: promotion hysteresis, sim CLI, tag scattering."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.nurapid.cache import NuRAPIDCache
+from repro.nurapid.config import (
+    DistanceReplacementKind,
+    NuRAPIDConfig,
+    PromotionPolicy,
+)
+from repro.workloads.tracegen import _scatter_tags
+
+KB = 1024
+
+
+def tiny(**overrides):
+    defaults = dict(
+        capacity_bytes=64 * KB,
+        block_bytes=64,
+        associativity=4,
+        n_dgroups=4,
+        distance_replacement=DistanceReplacementKind.LRU,
+        seed=7,
+        name="hyst",
+    )
+    defaults.update(overrides)
+    return NuRAPIDCache(NuRAPIDConfig(**defaults))
+
+
+def demote_target(cache, target=0x100 * 64):
+    """Fill the cache so ``target`` ends up in d-group 1."""
+    cache.fill(target)
+    for i in range(1, cache.config.frames_per_dgroup + 1):
+        cache.fill((0x100 + i) * 64)
+    assert cache.dgroup_of(target) == 1
+    return target
+
+
+class TestPromotionHysteresis:
+    def test_hysteresis_1_promotes_on_first_hit(self):
+        c = tiny(promotion_hysteresis=1)
+        target = demote_target(c)
+        c.access(target)
+        assert c.dgroup_of(target) == 0
+
+    def test_hysteresis_3_waits_for_third_hit(self):
+        c = tiny(promotion_hysteresis=3)
+        target = demote_target(c)
+        c.access(target)
+        c.access(target)
+        assert c.dgroup_of(target) == 1
+        c.access(target)
+        assert c.dgroup_of(target) == 0
+        c.check_invariants()
+
+    def test_counter_resets_after_promotion(self):
+        c = tiny(promotion_hysteresis=2)
+        target = demote_target(c)
+        c.access(target)
+        c.access(target)  # promoted to dg0 here
+        assert c.dgroup_of(target) == 0
+        assert c.lookup(target).pending_hits == 0
+
+    def test_counter_resets_on_demotion(self):
+        c = tiny(promotion_hysteresis=4)
+        target = demote_target(c)
+        c.access(target)  # pending = 1
+        assert c.lookup(target).pending_hits == 1
+        # Force another demotion wave; target moves (or its entry is
+        # re-pointed) and the counter must clear.
+        for i in range(2 * c.config.frames_per_dgroup):
+            c.fill((0x9000 + i) * 64)
+        assert c.lookup(target).pending_hits in (0, 1)
+        c.check_invariants()
+
+    def test_hysteresis_reduces_moves(self):
+        import random
+
+        def churn(cache):
+            rng = random.Random(5)
+            for _ in range(4000):
+                a = rng.randrange(0, 4 * 64 * KB) & ~63
+                if not cache.access(a).hit:
+                    cache.fill(a)
+            return cache.stats.get("moves")
+
+        eager = churn(tiny(promotion_hysteresis=1,
+                           distance_replacement=DistanceReplacementKind.RANDOM))
+        lazy = churn(tiny(promotion_hysteresis=4,
+                          distance_replacement=DistanceReplacementKind.RANDOM))
+        assert lazy < eager
+
+    def test_invalid_hysteresis(self):
+        with pytest.raises(ConfigurationError):
+            tiny(promotion_hysteresis=0)
+
+
+class TestSimCLI:
+    def test_single_run(self, capsys):
+        from repro.sim.__main__ import main
+
+        assert main(["nurapid", "twolf", "--refs", "30000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "d-group hits" in out
+
+    def test_compare(self, capsys):
+        from repro.sim.__main__ import main
+
+        assert main(["compare", "wupwise", "--refs", "30000"]) == 0
+        out = capsys.readouterr().out
+        assert "vs base" in out
+
+    def test_bad_benchmark_rejected(self):
+        from repro.sim.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["base", "doom3"])
+
+
+class TestTagScattering:
+    def test_injective(self):
+        addrs = np.arange(0, 1 << 22, 37, dtype=np.int64) * 128
+        scattered = _scatter_tags(addrs)
+        assert len(np.unique(scattered)) == len(addrs)
+
+    def test_preserves_set_bits_and_region(self):
+        addrs = np.array([0x4000_0000 + i * 128 for i in range(4096)], dtype=np.int64)
+        scattered = _scatter_tags(addrs)
+        assert bool((scattered & 0xFFFFF == addrs & 0xFFFFF).all())  # bits < 20
+        assert bool((scattered >> 28 == addrs >> 28).all())  # region base
+
+    def test_spreads_partial_tags(self):
+        """Same-set blocks from a compact region get diverse bits 20-25."""
+        addrs = np.array(
+            [0x8000_0000 + layer * (1 << 20) for layer in range(16)], dtype=np.int64
+        )
+        before = {int(a >> 20) & 0x3F for a in addrs}
+        after = {int(a >> 20) & 0x3F for a in _scatter_tags(addrs)}
+        assert len(after) == 16
+        deltas = sorted({(int(b) - int(a)) & 0x3F for a, b in zip(sorted(before), sorted(after))})
+        assert len(deltas) > 1  # not a constant shift

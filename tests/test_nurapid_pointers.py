@@ -1,0 +1,118 @@
+"""FrameStore: occupancy, free lists, regions, and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.nurapid.pointers import FrameStore
+
+
+class TestBasics:
+    def test_allocate_and_occupant(self):
+        s = FrameStore(8)
+        f = s.allocate(0xAA, region=0)
+        assert s.occupant(f) == 0xAA
+        assert s.occupied_count == 1
+
+    def test_release_returns_occupant(self):
+        s = FrameStore(8)
+        f = s.allocate(0xAA, 0)
+        assert s.release(f) == 0xAA
+        assert s.occupant(f) is None
+        assert s.free_count() == 8
+
+    def test_replace_swaps_occupant(self):
+        s = FrameStore(8)
+        f = s.allocate(0xAA, 0)
+        assert s.replace(f, 0xBB) == 0xAA
+        assert s.occupant(f) == 0xBB
+
+    def test_fill_to_capacity(self):
+        s = FrameStore(4)
+        for i in range(4):
+            s.allocate(i, 0)
+        assert not s.has_free(0)
+        with pytest.raises(SimulationError):
+            s.allocate(99, 0)
+
+    def test_release_free_frame_rejected(self):
+        s = FrameStore(4)
+        with pytest.raises(SimulationError):
+            s.release(0)
+
+    def test_replace_free_frame_rejected(self):
+        s = FrameStore(4)
+        with pytest.raises(SimulationError):
+            s.replace(0, 0xAA)
+
+    def test_frame_bounds_checked(self):
+        s = FrameStore(4)
+        with pytest.raises(SimulationError):
+            s.occupant(4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrameStore(0)
+        with pytest.raises(ConfigurationError):
+            FrameStore(8, n_regions=3)  # does not divide
+
+
+class TestRegions:
+    def test_regions_partition_frames(self):
+        s = FrameStore(8, n_regions=2)
+        assert s.frames_per_region == 4
+        f0 = s.allocate(0xAA, 0)
+        f1 = s.allocate(0xBB, 1)
+        assert s.region_of_frame(f0) == 0
+        assert s.region_of_frame(f1) == 1
+
+    def test_region_free_counts_independent(self):
+        s = FrameStore(8, n_regions=2)
+        for i in range(4):
+            s.allocate(i, 0)
+        assert not s.has_free(0)
+        assert s.has_free(1)
+        assert s.free_count(0) == 0
+        assert s.free_count(1) == 4
+
+    def test_release_returns_frame_to_its_region(self):
+        s = FrameStore(8, n_regions=2)
+        f = s.allocate(0xAA, 1)
+        s.release(f)
+        assert s.free_count(1) == 4
+
+    def test_region_bounds_checked(self):
+        s = FrameStore(8, n_regions=2)
+        with pytest.raises(SimulationError):
+            s.allocate(0xAA, 2)
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["alloc", "release", "replace"]), st.integers(0, 500)),
+            max_size=120,
+        )
+    )
+    def test_random_operations_preserve_invariants(self, ops):
+        s = FrameStore(16, n_regions=2)
+        occupied = []
+        next_block = [0]
+        for op, arg in ops:
+            if op == "alloc":
+                region = arg % 2
+                if s.has_free(region):
+                    f = s.allocate(next_block[0], region)
+                    occupied.append(f)
+                    next_block[0] += 1
+            elif op == "release" and occupied:
+                f = occupied.pop(arg % len(occupied))
+                s.release(f)
+            elif op == "replace" and occupied:
+                f = occupied[arg % len(occupied)]
+                s.replace(f, next_block[0])
+                next_block[0] += 1
+        s.check_invariants()
+        assert s.occupied_count == len(occupied)

@@ -1,0 +1,125 @@
+"""Stream prefetcher: training, issuing, accounting, integration."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.caches.prefetch import PrefetchingHierarchyAdapter, StreamPrefetcher
+
+
+def blocks(base, count, step=128):
+    return [base + i * step for i in range(count)]
+
+
+class TestTraining:
+    def test_untrained_stream_issues_nothing(self):
+        pf = StreamPrefetcher()
+        assert pf.observe_miss(0x1000) == []
+        assert pf.observe_miss(0x1080) == []  # confidence 1 < threshold 2
+
+    def test_ascending_stream_trains_and_issues(self):
+        pf = StreamPrefetcher(degree=2)
+        issued = []
+        for address in blocks(0x1000, 4):
+            issued = pf.observe_miss(address)
+        assert issued == [0x1000 + 4 * 128, 0x1000 + 5 * 128]
+
+    def test_descending_stream(self):
+        pf = StreamPrefetcher(degree=1)
+        issued = []
+        for address in reversed(blocks(0x10000, 4)):
+            issued = pf.observe_miss(address)
+        assert issued == [0x10000 - 128]
+
+    def test_random_pattern_never_trains(self):
+        pf = StreamPrefetcher()
+        addresses = [0x1000, 0x1E00, 0x1200, 0x1A80, 0x1011]
+        assert all(pf.observe_miss(a) == [] for a in addresses)
+
+    def test_direction_flip_resets_confidence(self):
+        pf = StreamPrefetcher(degree=1, train_threshold=2)
+        for address in blocks(0x2000, 3):
+            pf.observe_miss(address)
+        # Reverse direction: first reversed miss must not prefetch.
+        assert pf.observe_miss(0x2000 + 1 * 128) == []
+
+    def test_streams_tracked_per_region(self):
+        pf = StreamPrefetcher(degree=1)
+        a = blocks(0x10000, 4)
+        b = blocks(0x80000, 4)
+        out_a = out_b = []
+        for x, y in zip(a, b):  # interleaved streams
+            out_a = pf.observe_miss(x)
+            out_b = pf.observe_miss(y)
+        assert out_a and out_b
+
+    def test_stream_table_evicts_lru(self):
+        pf = StreamPrefetcher(streams=2)
+        pf.observe_miss(0x10000)
+        pf.observe_miss(0x20000)
+        pf.observe_miss(0x30000)  # evicts the 0x10000 region entry
+        assert pf.stats.streams_allocated == 3
+        assert len(pf._table) == 2
+
+    def test_negative_prefetches_clamped(self):
+        pf = StreamPrefetcher(degree=4)
+        for address in reversed(blocks(0, 4)):
+            out = pf.observe_miss(address)
+        assert all(p >= 0 for p in out)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamPrefetcher(block_bytes=100)
+        with pytest.raises(ConfigurationError):
+            StreamPrefetcher(streams=0)
+
+
+class TestAccounting:
+    def test_accuracy(self):
+        pf = StreamPrefetcher()
+        pf.note_issued(0x1000)
+        pf.note_issued(0x2000)
+        pf.note_demand(0x1000)
+        assert pf.stats.issued == 2
+        assert pf.stats.useful == 1
+        assert pf.stats.accuracy == pytest.approx(0.5)
+
+    def test_demand_without_prefetch_is_ignored(self):
+        pf = StreamPrefetcher()
+        pf.note_demand(0x5000)
+        assert pf.stats.useful == 0
+
+    def test_useful_counted_once(self):
+        pf = StreamPrefetcher()
+        pf.note_issued(0x1000)
+        pf.note_demand(0x1000)
+        pf.note_demand(0x1000)
+        assert pf.stats.useful == 1
+
+    def test_empty_accuracy(self):
+        assert StreamPrefetcher().stats.accuracy == 0.0
+
+
+class TestAdapterIntegration:
+    def test_prefetch_fills_reach_the_l2(self):
+        from repro.sim.config import nurapid_config
+        from repro.sim.driver import make_system
+
+        system = make_system(nurapid_config(), prewarm=False)
+        adapter = PrefetchingHierarchyAdapter(system.hierarchy)
+        base = 0x40_0000
+        for i in range(6):
+            adapter.access_data(base + i * 128, False, float(i * 50))
+        # The stream trained; blocks ahead of the stream are resident
+        # without ever being demanded.
+        assert adapter.prefetcher.stats.issued > 0
+        ahead = base + 7 * 128
+        assert system.l2.contains(ahead)
+
+    def test_adapter_delegates_attributes(self):
+        from repro.sim.config import base_config
+        from repro.sim.driver import make_system
+
+        system = make_system(base_config(), prewarm=False)
+        adapter = PrefetchingHierarchyAdapter(system.hierarchy)
+        assert adapter.l1d is system.hierarchy.l1d
+        assert adapter.memory is system.hierarchy.memory

@@ -1,0 +1,134 @@
+"""Prewarm: the steady-state initial condition for all cache models."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.caches.setassoc_nonuniform import SetAssociativePlacementCache
+from repro.caches.simple import SetAssociativeCache
+from repro.floorplan.dgroups import build_nurapid_geometry, build_uniform_cache_spec
+from repro.nuca.cache import DNUCACache
+from repro.nuca.config import DNUCAConfig
+from repro.nurapid.cache import NuRAPIDCache
+from repro.nurapid.config import NuRAPIDConfig
+
+KB = 1024
+
+
+class TestNuRAPIDPrewarm:
+    def _cache(self):
+        return NuRAPIDCache(
+            NuRAPIDConfig(
+                capacity_bytes=64 * KB, block_bytes=64, associativity=4,
+                n_dgroups=4, name="pw",
+            )
+        )
+
+    def test_fills_every_frame(self):
+        c = self._cache()
+        c.prewarm()
+        assert c.resident_blocks() == c.config.n_blocks
+        for occupied, total in c.dgroup_occupancy():
+            assert occupied == total
+        c.check_invariants()
+
+    def test_dummies_spread_over_dgroups(self):
+        c = self._cache()
+        c.prewarm()
+        # Every set has one dummy way in each d-group (assoc 4 / 4 groups).
+        for way in range(4):
+            addr = c.PREWARM_BASE + (way * c.config.n_sets + 0) * 64
+            assert c.dgroup_of(addr) == way
+
+    def test_fill_after_prewarm_triggers_demotion_chain(self):
+        c = self._cache()
+        c.prewarm()
+        # First fill evicts the set's LRU dummy (the d-group-0 one),
+        # whose freed frame absorbs the new block directly.
+        c.fill(0x1000)
+        assert c.dgroup_of(0x1000) == 0
+        assert c.stats.get("evictions") == 1
+        assert c.stats.get("demotions") == 0
+        # Second fill to the same set evicts the d-group-1 dummy, so
+        # placing in the (full) d-group 0 must run a demotion chain.
+        sets = c.config.n_sets
+        c.fill(0x1000 + sets * 64)
+        assert c.stats.get("evictions") == 2
+        assert c.stats.get("demotions") == 1
+        c.check_invariants()
+
+    def test_dummy_evictions_are_clean(self):
+        c = self._cache()
+        c.prewarm()
+        assert c.fill(0x1000) == 0  # no writeback from the dummy
+
+    def test_prewarm_twice_rejected(self):
+        c = self._cache()
+        c.prewarm()
+        with pytest.raises(SimulationError):
+            c.prewarm()
+
+    def test_prewarm_requires_divisible_assoc(self):
+        c = NuRAPIDCache(
+            NuRAPIDConfig(
+                capacity_bytes=64 * KB, block_bytes=64, associativity=4,
+                n_dgroups=8, name="pw8",
+            )
+        )
+        with pytest.raises(SimulationError):
+            c.prewarm()
+
+
+class TestDNUCAPrewarm:
+    def _cache(self):
+        return DNUCACache(
+            DNUCAConfig(capacity_bytes=512 * KB, bank_bytes=64 * KB, name="pwn")
+        )
+
+    def test_fills_every_way(self):
+        c = self._cache()
+        c.prewarm()
+        assert c.resident_blocks() == 512 * KB // 128
+        c.check_invariants()
+
+    def test_fill_after_prewarm_evicts_tail(self):
+        c = self._cache()
+        c.prewarm()
+        c.fill(0x10000)
+        assert c.stats.get("evictions") == 1
+        assert c.level_of(0x10000) == c.config.chain_length - 1
+
+    def test_prewarm_twice_rejected(self):
+        c = self._cache()
+        c.prewarm()
+        with pytest.raises(SimulationError):
+            c.prewarm()
+
+
+class TestUniformPrewarm:
+    def test_fills_all_ways(self):
+        spec = build_uniform_cache_spec("u", 8 * KB, 64, 2, latency_cycles=5)
+        c = SetAssociativeCache(spec)
+        c.prewarm()
+        assert c.occupancy() == 8 * KB // 64
+
+    def test_prewarm_is_idempotent(self):
+        spec = build_uniform_cache_spec("u", 8 * KB, 64, 2, latency_cycles=5)
+        c = SetAssociativeCache(spec)
+        c.prewarm()
+        c.prewarm()  # skips resident dummies
+        assert c.occupancy() == 8 * KB // 64
+
+
+class TestSAPlacementPrewarm:
+    def test_fills_all_ways(self):
+        c = SetAssociativePlacementCache(
+            capacity_bytes=64 * KB, block_bytes=64, associativity=4, n_dgroups=4,
+            geometry=build_nurapid_geometry(
+                n_dgroups=4, capacity_bytes=64 * KB, block_bytes=64, associativity=4
+            ),
+            name="pwsa",
+        )
+        c.prewarm()
+        c.check_invariants()
+        # Every way of set 0 is occupied.
+        assert len(c._where[0]) == 4

@@ -1,0 +1,151 @@
+"""Spare-subarray management, yield model, and leakage model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.rng import DeterministicRNG
+from repro.floorplan.spares import (
+    RepairDomain,
+    SpareManager,
+    compare_layouts,
+    domain_survival_probability,
+    yield_model,
+)
+from repro.tech.leakage import (
+    LeakageModel,
+    LeakageParams,
+    gating_savings,
+    leakage_vs_dynamic_share,
+    nurapid_leakage_model,
+    validate_monotone_temperature,
+)
+
+
+class TestRepairDomain:
+    def test_remap_uses_spares(self):
+        d = RepairDomain("d", data_subarrays=8, spare_subarrays=2)
+        assert d.fail_subarray(3)
+        assert d.healthy
+        assert d.physical_subarray(3) == 8  # first spare
+        assert d.physical_subarray(0) == 0
+
+    def test_spares_exhaust(self):
+        d = RepairDomain("d", 8, 1)
+        assert d.fail_subarray(0)
+        assert not d.fail_subarray(1)
+        assert not d.healthy
+        with pytest.raises(SimulationError):
+            d.physical_subarray(1)
+
+    def test_refail_is_idempotent(self):
+        d = RepairDomain("d", 8, 1)
+        d.fail_subarray(0)
+        assert d.fail_subarray(0)
+        assert d.spares_used == 1
+
+    def test_bounds(self):
+        d = RepairDomain("d", 8, 1)
+        with pytest.raises(ConfigurationError):
+            d.fail_subarray(8)
+
+
+class TestSpareManager:
+    def test_defect_injection_counts_unrepaired(self):
+        mgr = SpareManager()
+        mgr.add_domain("big", 100, 3)
+        rng = DeterministicRNG(3, "defects")
+        unrepaired = mgr.inject_defects(rng, 0.10)
+        summary = mgr.summary()["big"]
+        assert summary["failed"] >= summary["repaired"]
+        assert unrepaired == summary["failed"] - summary["repaired"]
+
+    def test_zero_defect_rate_keeps_healthy(self):
+        mgr = SpareManager()
+        mgr.add_domain("d", 50, 0)
+        assert mgr.inject_defects(DeterministicRNG(1, "x"), 0.0) == 0
+        assert mgr.healthy
+
+    def test_duplicate_domain_rejected(self):
+        mgr = SpareManager()
+        mgr.add_domain("d", 8, 1)
+        with pytest.raises(ConfigurationError):
+            mgr.add_domain("d", 8, 1)
+
+
+class TestYieldModel:
+    def test_survival_with_no_defects(self):
+        assert domain_survival_probability(64, 1, 0.0) == pytest.approx(1.0)
+
+    def test_spares_improve_survival(self):
+        p0 = domain_survival_probability(64, 0, 0.01)
+        p2 = domain_survival_probability(64, 2, 0.01)
+        assert p2 > p0
+
+    def test_yield_multiplies_domains(self):
+        one = yield_model(1, 64, 1, 0.005)
+        four = yield_model(4, 64, 1, 0.005)
+        assert four == pytest.approx(one**4)
+
+    def test_few_large_beats_many_small(self):
+        """The §3.2 argument: shared spares win at equal budget."""
+        results = compare_layouts(
+            total_subarrays=512, total_spares=8, defect_probability=0.005,
+            few_domains=4, many_domains=128,
+        )
+        assert results["few-large"] > results["many-small"]
+
+    def test_compare_layouts_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            compare_layouts(500, 8, 0.01)
+
+
+class TestLeakage:
+    def test_power_scales_with_bits(self):
+        m = LeakageModel()
+        m.add_array("a", 1000)
+        p1 = m.power_nw()
+        m.add_array("b", 1000)
+        assert m.power_nw() == pytest.approx(2 * p1)
+
+    def test_temperature_monotone(self):
+        assert validate_monotone_temperature(LeakageParams())
+
+    def test_gating_reduces_power(self):
+        m = LeakageModel()
+        m.add_array("x", 1000)
+        full = m.power_nw()
+        m.set_gated("x", True)
+        assert m.power_nw() == pytest.approx(full * LeakageParams().gated_fraction)
+
+    def test_energy_scales_with_cycles(self):
+        m = LeakageModel()
+        m.add_array("x", 10_000)
+        assert m.energy_nj(2000.0) == pytest.approx(2 * m.energy_nj(1000.0))
+
+    def test_nurapid_model_has_tag_and_dgroups(self):
+        m = nurapid_leakage_model()
+        assert set(m.arrays()) == {"dgroup0", "dgroup1", "dgroup2", "dgroup3", "tag"}
+
+    def test_gating_savings_grow_with_gated_groups(self):
+        m = nurapid_leakage_model()
+        s2 = gating_savings(m, 2, 4)
+        s1 = gating_savings(m, 1, 4)
+        assert 0 < s2 < s1 < 1
+
+    def test_share_helper(self):
+        assert leakage_vs_dynamic_share(1.0, 3.0) == pytest.approx(0.25)
+        assert leakage_vs_dynamic_share(0.0, 0.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            leakage_vs_dynamic_share(-1.0, 1.0)
+
+    def test_validation(self):
+        m = LeakageModel()
+        with pytest.raises(ConfigurationError):
+            m.add_array("x", 0)
+        m.add_array("x", 10)
+        with pytest.raises(ConfigurationError):
+            m.add_array("x", 10)
+        with pytest.raises(ConfigurationError):
+            m.set_gated("ghost", True)
+        with pytest.raises(ConfigurationError):
+            LeakageParams().scale_for_temperature(-1.0)

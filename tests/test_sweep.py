@@ -1,0 +1,95 @@
+"""Parameter-sweep utility."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.nurapid.config import PromotionPolicy
+from repro.sim.config import nurapid_config
+from repro.sim.sweep import Sweep, SweepAxis, SweepPoint, tabulate
+
+
+def build(n_dgroups, promotion):
+    return nurapid_config(n_dgroups=n_dgroups, promotion=promotion)
+
+
+def make_sweep(**kw):
+    defaults = dict(
+        axes=[
+            SweepAxis("n_dgroups", (2, 4)),
+            SweepAxis("promotion", (PromotionPolicy.NEXT_FASTEST,)),
+        ],
+        build=build,
+        benchmarks=["wupwise"],
+        n_references=25_000,
+    )
+    defaults.update(kw)
+    return Sweep(**defaults)
+
+
+class TestSweepConstruction:
+    def test_points_cross_product(self):
+        sweep = make_sweep(
+            axes=[
+                SweepAxis("n_dgroups", (2, 4, 8)),
+                SweepAxis(
+                    "promotion",
+                    (PromotionPolicy.NEXT_FASTEST, PromotionPolicy.DEMOTION_ONLY),
+                ),
+            ]
+        )
+        points = sweep.points()
+        assert len(points) == 6
+        coords = {(p.coordinates["n_dgroups"], p.coordinates["promotion"]) for p in points}
+        assert len(coords) == 6
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepAxis("x", ())
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_sweep(axes=[])
+
+    def test_no_benchmarks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_sweep(benchmarks=[])
+
+    def test_bad_builder_rejected(self):
+        sweep = make_sweep(build=lambda **kw: "not a config")
+        with pytest.raises(ConfigurationError):
+            sweep.points()
+
+
+class TestSweepExecution:
+    def test_run_fills_results(self):
+        points = make_sweep().run()
+        assert len(points) == 2
+        for point in points:
+            assert "wupwise" in point.runs
+            assert point.mean_ipc() > 0
+
+    def test_relative_metric(self):
+        points = make_sweep().run()
+        base = points[0]
+        rel = points[1].mean_relative(base)
+        assert rel > 0
+
+    def test_traces_shared_across_points(self):
+        sweep = make_sweep()
+        sweep.run()
+        assert len(sweep._traces) == 1  # one benchmark, generated once
+
+    def test_tabulate(self):
+        points = make_sweep().run()
+        text = tabulate(points, lambda p: p.mean_ipc())
+        assert "n_dgroups" in text
+        assert len(text.splitlines()) == 3
+
+    def test_tabulate_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tabulate([], lambda p: 0.0)
+
+    def test_point_without_runs_rejects_metrics(self):
+        point = SweepPoint(coordinates={}, config=nurapid_config())
+        with pytest.raises(ConfigurationError):
+            point.mean_ipc()
