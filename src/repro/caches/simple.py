@@ -8,14 +8,19 @@ a block's way in the tag array *is* its location in the data array.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.common.lru import LRUPolicy
 from repro.common.types import AccessResult
 from repro.caches.block import CacheBlock, block_address, set_index
+from repro.faults.models import TransientOutcome
 from repro.floorplan.dgroups import UniformCacheSpec
 from repro.tech.energy import EnergyBook
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.models import FaultPlan
 
 
 class SetAssociativeCache:
@@ -39,6 +44,32 @@ class SetAssociativeCache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        self.fault_refetches = 0
+        #: Optional runtime fault injection (see :mod:`repro.faults`).
+        #: None keeps the hooks dead code: the no-fault path is
+        #: bit-identical to the pre-fault simulator.
+        self.fault_injector: Optional["FaultInjector"] = None
+
+    # --- fault injection (opt-in) ---
+
+    def attach_faults(self, plan: "FaultPlan") -> "FaultInjector":
+        """Arm this cache with a transient-upset campaign.
+
+        Hard subarray failures need the d-group retirement machinery,
+        which only :class:`~repro.nurapid.cache.NuRAPIDCache` models;
+        a uniform cache accepts transient-only plans.
+        """
+        from repro.faults.injector import FaultInjector
+
+        if self.fault_injector is not None:
+            raise ConfigurationError(f"{self.name} already has a fault injector")
+        if plan.hard_faults:
+            raise ConfigurationError(
+                f"{self.name} is a uniform cache; hard subarray faults are "
+                "only modeled for NuRAPID d-groups"
+            )
+        self.fault_injector = FaultInjector(plan, self.name, n_dgroups=1)
+        return self.fault_injector
 
     # --- lookups ---
 
@@ -66,6 +97,24 @@ class SetAssociativeCache:
         op = f"{self.name}.write" if is_write else f"{self.name}.read"
         energy = self.energy.charge(op)
         if baddr in resident:
+            if self.fault_injector is not None:
+                # May raise UncorrectableDataError for a dirty-line DUE.
+                outcome = self.fault_injector.on_access(
+                    True, resident[baddr].dirty, address
+                )
+                if outcome is TransientOutcome.REFETCH:
+                    # Detected-uncorrectable on a clean line: drop it
+                    # and refetch from below, surfaced as a miss.
+                    self._lru[index].remove(baddr)
+                    del resident[baddr]
+                    self.fault_refetches += 1
+                    self.misses += 1
+                    return AccessResult(
+                        hit=False,
+                        latency=self.spec.latency_cycles,
+                        level=self.name,
+                        energy_nj=energy,
+                    )
             self.hits += 1
             self._lru[index].touch(baddr)
             if is_write:
@@ -76,6 +125,8 @@ class SetAssociativeCache:
                 level=self.name,
                 energy_nj=energy,
             )
+        if self.fault_injector is not None:
+            self.fault_injector.on_access(False, False, address)
         self.misses += 1
         return AccessResult(
             hit=False,
@@ -155,6 +206,7 @@ class SetAssociativeCache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        self.fault_refetches = 0
         self.energy.reset_counts()
 
     def occupancy(self) -> int:

@@ -24,3 +24,32 @@ class SimulationError(ReproError):
     This always indicates a bug in the simulator (or a hand-corrupted
     state), never a property of the simulated workload.
     """
+
+
+class FaultError(ReproError):
+    """A modeled hardware fault had architecturally visible effects.
+
+    Unlike :class:`SimulationError`, this is a *property of the
+    simulated machine* under fault injection (:mod:`repro.faults`), not
+    a simulator bug: the run was healthy but the injected fault could
+    not be masked by ECC or spares.
+    """
+
+
+class UncorrectableDataError(FaultError):
+    """A detected-uncorrectable upset hit a dirty line.
+
+    A clean line can be silently refetched from the level below; a
+    dirty line holds the only copy of its data, so the machine must
+    signal data loss.  The sweep runner isolates and records these
+    instead of aborting a whole experiment grid.
+    """
+
+    def __init__(self, level: str, address: int, access_index: int) -> None:
+        super().__init__(
+            f"uncorrectable upset on dirty line {address:#x} in {level} "
+            f"(access #{access_index})"
+        )
+        self.level = level
+        self.address = address
+        self.access_index = access_index

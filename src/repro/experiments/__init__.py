@@ -21,6 +21,7 @@ from repro.experiments.common import (
 def _registry() -> Dict[str, Callable[[Scale], ExperimentReport]]:
     # Imports are local so that `import repro.experiments` stays cheap.
     from repro.experiments import (
+        ablation_faults,
         ablation_hysteresis,
         ablation_layout,
         ablation_leakage,
@@ -58,6 +59,7 @@ def _registry() -> Dict[str, Callable[[Scale], ExperimentReport]]:
         "ablation_pointers": ablations.run_pointers,
         "ablation_seqtag": ablations.run_seqtag,
         "ablation_dnuca_insert": ablations.run_dnuca_insert,
+        "ablation_faults": ablation_faults.run,
         "ablation_spares": ablation_layout.run_spares,
         "ablation_ecc": ablation_layout.run_ecc,
         "ablation_leakage": ablation_leakage.run,

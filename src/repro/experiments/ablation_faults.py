@@ -1,0 +1,164 @@
+"""Runtime fault resilience: NuRAPID vs the base hierarchy (extension).
+
+The §3.1 layout argument made runtime: both systems face the same
+transient-upset campaign (multi-bit strikes, up to 32 adjacent cells),
+but NuRAPID's few large d-groups interleave each block's SEC-DED words
+across 128 subarrays — at most one bit of any word per subarray, so
+every strike decodes as corrected — while the base hierarchy's narrow
+banking spreads words over only 8 subarrays, so wide strikes produce
+detected-uncorrectable words: clean lines are refetched (extra misses)
+and dirty lines are lost outright (the run dies with a typed
+:class:`~repro.common.errors.UncorrectableDataError`).
+
+The grid runs on the hardened :class:`~repro.sim.sweep.Sweep`: dirty
+data losses are isolated per cell, retried with reseeded traces and
+fault schedules, and recorded — the surviving grid is the resilience
+curve.  A final section injects hard subarray failures beyond the
+spare budget into NuRAPID's fastest d-group and shows the run
+completing on degraded capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.common import ExperimentReport, Scale, cached_run
+from repro.faults.models import FaultPlan, HardFaultEvent
+from repro.sim.config import SystemConfig, base_config, nurapid_config
+from repro.sim.sweep import Sweep, SweepAxis, SweepPoint
+
+BENCHMARKS = ["art", "twolf"]
+RATES = (0.0, 1e-3, 1e-2)
+#: NuRAPID large d-groups: more subarrays than the 72-bit codeword, so
+#: each word keeps at most one bit per subarray (§3.1's safe regime).
+WIDE_INTERLEAVE = 128
+#: Conventional banked layout: 9 bits of every word share a subarray.
+NARROW_INTERLEAVE = 8
+#: Strikes span up to 32 adjacent cells of one subarray.
+MAX_UPSET_BITS = 32
+FAULT_SEED = 11
+
+
+def _plan(rate: float, interleave: int) -> Optional[FaultPlan]:
+    if rate == 0.0:
+        return None
+    return FaultPlan(
+        transient_per_access=rate,
+        max_upset_bits=MAX_UPSET_BITS,
+        interleave_subarrays=interleave,
+        data_subarrays_per_dgroup=max(64, interleave),
+        seed=FAULT_SEED,
+    )
+
+
+def _build(arch: str, rate: float) -> SystemConfig:
+    if arch == "nurapid":
+        return nurapid_config(faults=_plan(rate, WIDE_INTERLEAVE))
+    if arch == "base":
+        return base_config(faults=_plan(rate, NARROW_INTERLEAVE))
+    raise ConfigurationError(f"unknown arch {arch!r}")
+
+
+def _stat_total(point: SweepPoint, key: str) -> float:
+    return sum(r.stats.get(key, 0.0) for r in point.runs.values())
+
+
+def run(scale: Scale) -> ExperimentReport:
+    sweep = Sweep(
+        axes=[
+            SweepAxis("arch", ("base", "nurapid")),
+            SweepAxis("rate", RATES),
+        ],
+        build=_build,
+        benchmarks=BENCHMARKS,
+        n_references=scale.n_references,
+        seed=scale.seed,
+        warmup_fraction=scale.warmup_fraction,
+        max_retries=2,
+    )
+    points = sweep.run()
+    grid: Dict[Tuple[object, object], SweepPoint] = {
+        (p.coordinates["arch"], p.coordinates["rate"]): p for p in points
+    }
+
+    rows = []
+    for arch in ("base", "nurapid"):
+        baseline = grid[(arch, 0.0)]
+        for rate in RATES:
+            point = grid[(arch, rate)]
+            try:
+                rel = point.mean_relative(baseline)
+                rendered = round(rel, 4)
+            except ConfigurationError:
+                rendered = "failed"
+            # Cells killed by a dirty-line DUE leave no RunResult, so
+            # their losses are counted from the recorded outcomes.
+            losses = int(_stat_total(point, "fault_dirty_data_loss")) + sum(
+                1
+                for o in point.outcomes.values()
+                if o.error_type == "UncorrectableDataError"
+            )
+            rows.append(
+                {
+                    "arch": arch,
+                    "upset rate": f"{rate:g}",
+                    "rel IPC": rendered,
+                    "corrected": int(_stat_total(point, "fault_corrected")),
+                    "DUE refetch": int(_stat_total(point, "fault_clean_refetches")),
+                    "data loss": losses,
+                    "failed cells": len(point.failed_benchmarks()),
+                    "attempts": sum(o.attempts for o in point.outcomes.values()),
+                }
+            )
+
+    # Graceful degradation: four fast-d-group subarrays (of 8) die
+    # mid-run with only one spare; three retire, and NuRAPID keeps
+    # running on a shrunken fastest group instead of crashing.
+    degraded_plan = FaultPlan(
+        hard_faults=tuple(
+            HardFaultEvent(at_access=(i + 1) * 50, dgroup=0, subarray=i)
+            for i in range(4)
+        ),
+        data_subarrays_per_dgroup=8,
+        spare_subarrays_per_dgroup=1,
+        seed=FAULT_SEED,
+    )
+    degraded = nurapid_config(faults=degraded_plan)
+    healthy = nurapid_config()
+    rels, retired, lost = [], 0.0, 0.0
+    for benchmark in BENCHMARKS:
+        d = cached_run(degraded, benchmark, scale)
+        h = cached_run(healthy, benchmark, scale)
+        rels.append(d.ipc / h.ipc)
+        retired = max(retired, d.stats.get("fault_frames_retired_total", 0.0))
+        lost += d.stats.get("fault_lines_lost", 0.0)
+    rows.append(
+        {
+            "arch": "nurapid hard-fault",
+            "upset rate": "4 subarrays, 1 spare",
+            "rel IPC": round(sum(rels) / len(rels), 4),
+            "corrected": 0,
+            "DUE refetch": 0,
+            "data loss": int(lost),
+            "failed cells": 0,
+            "attempts": len(BENCHMARKS),
+        }
+    )
+
+    return ExperimentReport(
+        experiment="ablation_faults",
+        title="IPC vs fault rate: wide vs narrow ECC interleaving (extension)",
+        paper_expectation=(
+            "extension of §3.1: NuRAPID's 128-subarray interleaving corrects "
+            "every multi-bit strike (rel IPC ~1.0, zero data loss); the "
+            "narrow base layout suffers refetches and dirty-line losses that "
+            "the hardened sweep isolates and retries; hard faults beyond "
+            "spares degrade d-group 0 capacity without crashing the run"
+        ),
+        rows=rows,
+        summary={"dg0 frames retired (hard-fault row)": retired},
+        notes=f"benchmarks: {', '.join(BENCHMARKS)}; strikes up to "
+        f"{MAX_UPSET_BITS} adjacent cells; rel IPC is vs the same arch at "
+        "rate 0",
+    )

@@ -1,0 +1,36 @@
+"""Runtime fault injection and graceful degradation.
+
+The paper's §3 layout arguments — wide ECC interleaving absorbs soft
+errors, shared spares absorb hard errors — are reproduced *offline* by
+:mod:`repro.tech.ecc` and :mod:`repro.floorplan.spares`.  This package
+makes them *runtime* effects: a :class:`FaultPlan` describes a fault
+campaign, a :class:`FaultInjector` executes it against a live cache,
+and the cache substrates degrade gracefully — SEC-DED correction,
+clean-line refetch, spare-subarray remap, and d-group frame retirement
+— instead of crashing.
+
+Attach a plan via :class:`repro.sim.config.SystemConfig`'s ``faults``
+field (the driver wires injectors into the lower-level caches), or
+call ``attach_faults`` on a cache directly.  With no plan attached the
+fault hooks are never entered and results are bit-identical to the
+pre-fault simulator.
+"""
+
+from repro.common.errors import FaultError, UncorrectableDataError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    FaultPlan,
+    HardFaultEvent,
+    TransientOutcome,
+    transient_rate_from_fit,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "HardFaultEvent",
+    "TransientOutcome",
+    "UncorrectableDataError",
+    "transient_rate_from_fit",
+]

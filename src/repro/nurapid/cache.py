@@ -23,15 +23,20 @@ how the paper's reduced-bandwidth argument is evaluated (§5.4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cost
+    from repro.faults.injector import FaultInjector
+    from repro.faults.models import FaultPlan, HardFaultEvent
 from repro.common.lru import LRUPolicy
 from repro.common.rng import DeterministicRNG
 from repro.common.stats import Counter, Distribution
 from repro.common.types import AccessResult
 from repro.caches.block import block_address, set_index
 from repro.caches.port import PortScheduler
+from repro.faults.models import TransientOutcome
 from repro.floorplan.dgroups import NuRAPIDGeometry, build_nurapid_geometry
 from repro.nurapid.config import NuRAPIDConfig, PromotionPolicy
 from repro.nurapid.pointers import FrameStore
@@ -94,6 +99,24 @@ class NuRAPIDCache:
         self.stats = Counter()
         self.dgroup_hits = Distribution()
 
+        #: Optional runtime fault injection (see :mod:`repro.faults`).
+        #: None keeps every fault hook dead code: the no-fault path is
+        #: bit-identical to the pre-fault simulator.
+        self.fault_injector: Optional["FaultInjector"] = None
+
+    # --- fault injection (opt-in) ---
+
+    def attach_faults(self, plan: "FaultPlan") -> "FaultInjector":
+        """Arm this cache with a fault campaign; returns the injector."""
+        from repro.faults.injector import FaultInjector
+
+        if self.fault_injector is not None:
+            raise ConfigurationError(f"{self.name} already has a fault injector")
+        self.fault_injector = FaultInjector(
+            plan, self.name, n_dgroups=self.config.n_dgroups
+        )
+        return self.fault_injector
+
     # --- energy registration ---
 
     def _register_energy(self) -> None:
@@ -138,6 +161,9 @@ class NuRAPIDCache:
 
     def access(self, address: int, is_write: bool = False, now: float = 0.0) -> AccessResult:
         """Sequential tag-data access with optional promotion."""
+        if self.fault_injector is not None:
+            for event in self.fault_injector.take_due_hard_faults():
+                self._apply_hard_fault(event)
         baddr = block_address(address, self.block_bytes)
         index = self._set_of(address)
         entry = self._tags[index].get(baddr)
@@ -147,6 +173,8 @@ class NuRAPIDCache:
         if entry is None:
             # Sequential tag-data access: the (pipelined) tag probe
             # alone determines a miss; the data port is never touched.
+            if self.fault_injector is not None:
+                self.fault_injector.on_access(False, False, address)
             self.stats.add("misses")
             return AccessResult(
                 hit=False,
@@ -156,6 +184,25 @@ class NuRAPIDCache:
             )
 
         group = entry.dgroup
+        if self.fault_injector is not None:
+            # May raise UncorrectableDataError for a dirty-line DUE;
+            # `entry.dirty` is the pre-write state, which is what the
+            # read-modify-write of the ECC word actually sees.
+            outcome = self.fault_injector.on_access(True, entry.dirty, address)
+            if outcome is TransientOutcome.REFETCH:
+                # The d-group read that detected the error is paid; the
+                # clean line is dropped and refetched from below.
+                energy += self.energy.charge(f"{self.name}.dg{group}.read")
+                self.stats.add("dgroup_accesses")
+                self.stats.add("fault_refetches")
+                self.stats.add("misses")
+                self._invalidate_frame(group, entry.frame)
+                return AccessResult(
+                    hit=False,
+                    latency=float(self.geometry.hit_latency(group)),
+                    level=self.name,
+                    energy_nj=energy,
+                )
         self.stats.add("hits")
         self.dgroup_hits.add(group)
         op = "write" if is_write else "read"
@@ -215,6 +262,15 @@ class NuRAPIDCache:
         if target >= source:
             raise SimulationError(f"promotion must move inward ({source}->{target})")
         region = self._region_of(entry.block_addr)
+        if (
+            self.fault_injector is not None
+            and not self._stores[target].has_free(region)
+            and self._replacer.tracked(target, region) == 0
+        ):
+            # The target group's region has been fully retired by hard
+            # faults: nothing to swap with, so the block stays put.
+            self.stats.add("fault_promotions_blocked")
+            return
         self.stats.add("promotions")
 
         if self._stores[target].has_free(region):
@@ -284,7 +340,8 @@ class NuRAPIDCache:
         self.stats.add("fills")
 
         writebacks = 0
-        if len(resident) >= self.config.associativity:
+        set_evicted = len(resident) >= self.config.associativity
+        if set_evicted:
             victim_addr = self._data_lru[index].pop_victim()
             victim = resident.pop(victim_addr)
             self._stores[victim.dgroup].release(victim.frame)
@@ -297,12 +354,29 @@ class NuRAPIDCache:
                 # it drains through the writeback buffer off the port.
                 self.energy.charge(f"{self.name}.dg{victim.dgroup}.read")
                 self.stats.add("dgroup_accesses")
+        elif self.fault_injector is not None and not self._region_has_free(region):
+            # Hard-fault retirement left fewer usable frames than the
+            # tag side admits: the region is full even though this set
+            # is not, so make room by evicting a distance victim.
+            writebacks += self._evict_for_space(region)
 
         # Demotion chain: push occupants outward until a free frame.
         group = 0
         incoming = baddr
         incoming_entry: Optional[TagEntry] = None  # created below for baddr
         while not self._stores[group].has_free(region):
+            if (
+                self.fault_injector is not None
+                and self._replacer.tracked(group, region) == 0
+            ):
+                # Region fully retired in this d-group: nothing to
+                # demote, the incoming block skips to the next group.
+                group += 1
+                if group >= self.config.n_dgroups:
+                    raise SimulationError(
+                        f"region {region} has no usable frames in any d-group"
+                    )
+                continue
             frame = self._replacer.select_victim(group, region)
             demoted_addr = self._stores[group].replace(frame, incoming)
             self._replacer.remove(group, region, frame)
@@ -355,6 +429,88 @@ class NuRAPIDCache:
         else:
             entry.dgroup, entry.frame = dgroup, frame
             entry.pending_hits = 0
+
+    # --- fault handling: invalidation, capacity eviction, retirement ---
+
+    def _region_has_free(self, region: int) -> bool:
+        return any(store.has_free(region) for store in self._stores)
+
+    def _invalidate_frame(self, dgroup: int, frame: int) -> TagEntry:
+        """Drop the block resident in ``frame`` without writeback."""
+        store = self._stores[dgroup]
+        addr = store.occupant(frame)
+        if addr is None:
+            raise SimulationError(f"invalidate of free frame {frame} in dg{dgroup}")
+        index = self._set_of(addr)
+        entry = self._tags[index].pop(addr)
+        self._data_lru[index].remove(addr)
+        store.release(frame)
+        self._replacer.remove(dgroup, self._region_of(addr), frame)
+        return entry
+
+    def _evict_for_space(self, region: int) -> int:
+        """Evict a distance victim of ``region``; returns writebacks.
+
+        Only reachable under fault injection: retirement shrank the
+        usable frame pool below sets x associativity, so a fill may
+        find its set below associativity yet its region out of frames.
+        The victim comes from the slowest d-group still holding one,
+        matching where demotion pressure accumulates.
+        """
+        for group in range(self.config.n_dgroups - 1, -1, -1):
+            if (
+                not self._stores[group].occupied_count
+                or self._replacer.tracked(group, region) == 0
+            ):
+                continue
+            frame = self._replacer.select_victim(group, region)
+            entry = self._invalidate_frame(group, frame)
+            self.stats.add("evictions")
+            self.stats.add("fault_capacity_evictions")
+            if entry.dirty:
+                self.stats.add("writebacks")
+                self.energy.charge(f"{self.name}.dg{group}.read")
+                self.stats.add("dgroup_accesses")
+                return 1
+            return 0
+        raise SimulationError(f"region {region} has no usable frames left")
+
+    def _apply_hard_fault(self, event: "HardFaultEvent") -> None:
+        """A subarray died mid-run: remap to a spare or degrade."""
+        assert self.fault_injector is not None
+        if self.fault_injector.repair_or_retire(event):
+            # A spare absorbed the failure; with §3.1 interleaving the
+            # lost bits are reconstructed word-by-word through SEC-DED,
+            # so contents and capacity are unaffected.
+            return
+        self._retire_subarray(event.dgroup, event.subarray)
+
+    def _retire_subarray(self, dgroup: int, subarray: int) -> None:
+        """Spares exhausted: retire the subarray's frames for good.
+
+        Resident blocks are lost (counted, not raised — the run keeps
+        going on reduced capacity); the frames leave the free pool so
+        placement, demotion, and promotion transparently operate on a
+        smaller d-group from here on.
+        """
+        store = self._stores[dgroup]
+        n_subarrays = self.fault_injector.plan.data_subarrays_per_dgroup
+        frames_per_subarray = max(1, store.n_frames // n_subarrays)
+        start = min(subarray * frames_per_subarray, store.n_frames)
+        for frame in range(start, min(start + frames_per_subarray, store.n_frames)):
+            if store.is_retired(frame):
+                continue
+            if store.occupant(frame) is not None:
+                entry = self._invalidate_frame(dgroup, frame)
+                self.stats.add("fault_lines_lost")
+                if entry.dirty:
+                    self.stats.add("fault_dirty_lines_lost")
+            store.retire(frame)
+            self.stats.add("fault_frames_retired")
+
+    def retired_frames(self) -> List[int]:
+        """Retired frames per d-group, fastest first."""
+        return [store.retired_count() for store in self._stores]
 
     # --- prewarm (models the paper's 5B-instruction fast-forward) ---
 
@@ -444,11 +600,12 @@ class NuRAPIDCache:
             for region in range(self.config.n_regions):
                 tracked = self._replacer.tracked(group, region)
                 free = self._stores[group].free_count(region)
+                retired = self._stores[group].retired_count(region)
                 per_region = self._stores[group].frames_per_region
-                if tracked != per_region - free:
+                if tracked != per_region - free - retired:
                     raise SimulationError(
                         f"replacer tracking {tracked} frames in d-group {group} "
-                        f"region {region}, expected {per_region - free}"
+                        f"region {region}, expected {per_region - free - retired}"
                     )
 
     def reset_stats(self) -> None:

@@ -15,7 +15,7 @@ With one region the store is fully flexible (the paper's default).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.common.errors import ConfigurationError, SimulationError
 
@@ -40,6 +40,9 @@ class FrameStore:
             list(range(r * self.frames_per_region, (r + 1) * self.frames_per_region))
             for r in range(n_regions)
         ]
+        #: frames permanently removed from service (hard faults beyond
+        #: spare capacity); never free, never allocatable.
+        self._retired: Set[int] = set()
 
     # --- queries ---
 
@@ -64,7 +67,17 @@ class FrameStore:
 
     @property
     def occupied_count(self) -> int:
-        return self.n_frames - self.free_count()
+        return self.n_frames - self.free_count() - len(self._retired)
+
+    def is_retired(self, frame: int) -> bool:
+        self._check_frame(frame)
+        return frame in self._retired
+
+    def retired_count(self, region: Optional[int] = None) -> int:
+        if region is None:
+            return len(self._retired)
+        self._check_region(region)
+        return sum(1 for f in self._retired if self.region_of_frame(f) == region)
 
     # --- mutation ---
 
@@ -98,17 +111,40 @@ class FrameStore:
         self._resident[frame] = block_addr
         return occupant
 
+    def retire(self, frame: int) -> None:
+        """Permanently remove a *free* frame from service.
+
+        Callers must first evict/invalidate any resident block (via
+        :meth:`release`); retirement then pulls the frame off its
+        region's free list so it can never be allocated again.  This is
+        the graceful-degradation path for hard subarray failures once
+        spares are exhausted.
+        """
+        self._check_frame(frame)
+        if frame in self._retired:
+            return
+        if self._resident[frame] is not None:
+            raise SimulationError(f"retire of occupied frame {frame}")
+        self._free[self.region_of_frame(frame)].remove(frame)
+        self._retired.add(frame)
+
     # --- invariants (used by tests and debug assertions) ---
 
     def check_invariants(self) -> None:
-        """Raise if free lists and residency disagree."""
+        """Raise if free lists, retirement, and residency disagree."""
         free = set()
         for region, frames in enumerate(self._free):
             for frame in frames:
                 if self.region_of_frame(frame) != region:
                     raise SimulationError(f"frame {frame} on wrong region free list")
                 free.add(frame)
+        if free & self._retired:
+            raise SimulationError("retired frame on a free list")
         for frame, occupant in enumerate(self._resident):
+            if frame in self._retired:
+                if occupant is not None:
+                    raise SimulationError(f"retired frame {frame} is occupied")
+                continue
             if (occupant is None) != (frame in free):
                 raise SimulationError(f"frame {frame} residency/free-list mismatch")
 

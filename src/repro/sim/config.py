@@ -24,6 +24,7 @@ from repro.caches.memory import MainMemory
 from repro.caches.setassoc_nonuniform import SetAssociativePlacementCache
 from repro.caches.simple import SetAssociativeCache
 from repro.cpu.core import CoreParams
+from repro.faults.models import FaultPlan
 from repro.floorplan.dgroups import build_uniform_cache_spec
 from repro.nuca.cache import DNUCACache
 from repro.nuca.config import DNUCAConfig, SearchPolicy
@@ -48,6 +49,9 @@ class SystemConfig:
     nurapid: Optional[NuRAPIDConfig] = None
     dnuca: Optional[DNUCAConfig] = None
     seed: int = 0
+    #: Optional runtime fault campaign applied to the cache under study
+    #: (the first level below the L1s).  None disables all fault hooks.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.l2_kind not in {"base", "nurapid", "dnuca", "sa-nuca", "s-nuca"}:
@@ -56,14 +60,28 @@ class SystemConfig:
             raise ConfigurationError("nurapid kind requires a NuRAPIDConfig")
         if self.l2_kind == "dnuca" and self.dnuca is None:
             raise ConfigurationError("dnuca kind requires a DNUCAConfig")
+        if self.faults is not None and self.l2_kind not in {"base", "nurapid"}:
+            raise ConfigurationError(
+                f"fault injection is not modeled for l2_kind {self.l2_kind!r}"
+            )
+        if self.faults is not None and self.l2_kind == "base" and self.faults.hard_faults:
+            raise ConfigurationError(
+                "hard subarray faults are only modeled for NuRAPID d-groups"
+            )
 
 
 # --- factory helpers for the paper's configurations ---
 
 
-def base_config() -> SystemConfig:
-    """The conventional L2/L3 hierarchy the paper normalizes against."""
-    return SystemConfig(name="base", l2_kind="base")
+def base_config(faults: Optional[FaultPlan] = None) -> SystemConfig:
+    """The conventional L2/L3 hierarchy the paper normalizes against.
+
+    ``faults`` (transient-only) arms the L2 with a fault campaign; the
+    plan's label lands in the config name so cached results never mix
+    fault settings.
+    """
+    label = "base" if faults is None else f"base-{faults.label()}"
+    return SystemConfig(name=label, l2_kind="base", faults=faults)
 
 
 def nurapid_config(
@@ -75,6 +93,7 @@ def nurapid_config(
     promotion_hysteresis: int = 1,
     seed: int = 0,
     name: Optional[str] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SystemConfig:
     """An 8 MB 8-way NuRAPID system."""
     label = name or (
@@ -82,6 +101,8 @@ def nurapid_config(
         + ("-ideal" if ideal_uniform else "")
         + (f"-hyst{promotion_hysteresis}" if promotion_hysteresis != 1 else "")
     )
+    if faults is not None:
+        label = f"{label}-{faults.label()}"
     cache = NuRAPIDConfig(
         n_dgroups=n_dgroups,
         promotion=promotion,
@@ -91,7 +112,9 @@ def nurapid_config(
         promotion_hysteresis=promotion_hysteresis,
         seed=seed,
     )
-    return SystemConfig(name=label, l2_kind="nurapid", nurapid=cache, seed=seed)
+    return SystemConfig(
+        name=label, l2_kind="nurapid", nurapid=cache, seed=seed, faults=faults
+    )
 
 
 def dnuca_config(
@@ -132,7 +155,12 @@ def _l1_spec(name: str):
 
 
 def build_lower_level(config: SystemConfig):
-    """Build the level(s) below the L1s for a config."""
+    """Build the level(s) below the L1s for a config.
+
+    When ``config.faults`` is set, the cache under study (L2) is armed
+    with a :class:`~repro.faults.injector.FaultInjector` before any
+    traffic; other levels run fault-free.
+    """
     if config.l2_kind == "base":
         l2 = SetAssociativeCache(
             build_uniform_cache_spec(
@@ -152,10 +180,15 @@ def build_lower_level(config: SystemConfig):
                 latency_cycles=43,
             )
         )
+        if config.faults is not None:
+            l2.attach_faults(config.faults)
         return [UniformLowerLevel(l2), UniformLowerLevel(l3)]
     if config.l2_kind == "nurapid":
         assert config.nurapid is not None
-        return [NuRAPIDCache(config.nurapid)]
+        cache = NuRAPIDCache(config.nurapid)
+        if config.faults is not None:
+            cache.attach_faults(config.faults)
+        return [cache]
     if config.l2_kind == "dnuca":
         assert config.dnuca is not None
         return [DNUCACache(config.dnuca)]

@@ -136,6 +136,14 @@ def run_benchmark(
     prewarm: bool = True,
 ) -> RunResult:
     """Run one benchmark on one system and collect measurements."""
+    if n_references <= 0:
+        raise ConfigurationError(
+            f"n_references must be positive, got {n_references}"
+        )
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigurationError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
     profile: BenchmarkProfile = get_benchmark(benchmark)
     if trace is None:
         trace = generate_trace(
@@ -179,6 +187,17 @@ def run_benchmark(
     extra["stall_cycles"] = core.stall_cycles
     extra["branch_penalty_cycles"] = core.branch_penalty_cycles
     extra["memory_accesses"] = float(core.memory_accesses)
+    for level in system.lower:
+        target = getattr(level, "cache", level)
+        injector = getattr(target, "fault_injector", None)
+        if injector is not None:
+            extra.update({k: float(v) for k, v in injector.summary().items()})
+            retired = getattr(target, "retired_frames", None)
+            if retired is not None:
+                # End-of-run census, immune to the post-warmup counter
+                # reset (retirement during warmup still shrinks the
+                # measured-portion capacity).
+                extra["fault_frames_retired_total"] = float(sum(retired()))
 
     return RunResult(
         benchmark=benchmark,

@@ -55,6 +55,50 @@ class RunResult:
         return self.total_energy_nj * self.cycles
 
 
+def run_result_to_dict(result: RunResult) -> Dict[str, object]:
+    """A JSON-safe payload for checkpoint files (see sim.sweep)."""
+    return {
+        "benchmark": result.benchmark,
+        "config_name": result.config_name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        # JSON objects only have string keys; restored by from_dict.
+        "dgroup_fractions": {str(k): v for k, v in result.dgroup_fractions.items()},
+        "l2_accesses": result.l2_accesses,
+        "l2_hits": result.l2_hits,
+        "l2_misses": result.l2_misses,
+        "l1_energy_nj": result.l1_energy_nj,
+        "lower_energy_nj": result.lower_energy_nj,
+        "core_energy_nj": result.core_energy_nj,
+        "stats": dict(result.stats),
+    }
+
+
+def run_result_from_dict(payload: Mapping[str, object]) -> RunResult:
+    """Inverse of :func:`run_result_to_dict`."""
+    try:
+        fractions = {
+            int(k): float(v)
+            for k, v in dict(payload["dgroup_fractions"]).items()  # type: ignore[arg-type]
+        }
+        return RunResult(
+            benchmark=str(payload["benchmark"]),
+            config_name=str(payload["config_name"]),
+            instructions=int(payload["instructions"]),  # type: ignore[arg-type]
+            cycles=float(payload["cycles"]),  # type: ignore[arg-type]
+            l2_accesses=int(payload["l2_accesses"]),  # type: ignore[arg-type]
+            l2_hits=int(payload["l2_hits"]),  # type: ignore[arg-type]
+            l2_misses=int(payload["l2_misses"]),  # type: ignore[arg-type]
+            dgroup_fractions=fractions,
+            l1_energy_nj=float(payload["l1_energy_nj"]),  # type: ignore[arg-type]
+            lower_energy_nj=float(payload["lower_energy_nj"]),  # type: ignore[arg-type]
+            core_energy_nj=float(payload["core_energy_nj"]),  # type: ignore[arg-type]
+            stats={str(k): float(v) for k, v in dict(payload["stats"]).items()},  # type: ignore[arg-type]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed RunResult payload: {exc}") from exc
+
+
 def relative_performance(result: RunResult, base: RunResult) -> float:
     """IPC ratio against the base system (the paper's y-axis)."""
     if result.benchmark != base.benchmark:

@@ -1,24 +1,52 @@
-"""Parameter-sweep utility over system configurations.
+"""Crash-tolerant parameter sweeps over system configurations.
 
-A thin declarative layer used by the design-space example and handy
-for one-off studies: name a few axes (each a list of SystemConfig
-factories or values), take their cross product, run each point over a
-benchmark list with shared traces, and collect a tidy result grid.
+A thin declarative layer used by the design-space and resilience
+examples: name a few axes (each a list of values), take their cross
+product, run each point over a benchmark list with shared traces, and
+collect a tidy result grid.
+
+Fault campaigns make individual points genuinely fallible — an
+uncorrectable dirty-line upset surfaces as a typed
+:class:`~repro.common.errors.UncorrectableDataError` — so the runner
+hardens the grid instead of letting one point abort it:
+
+* **isolation** — any :class:`~repro.common.errors.ReproError` from a
+  point is caught and recorded as a failed :class:`RunOutcome`; other
+  exception types indicate simulator bugs and still propagate.
+* **retry with reseed** — a failed cell is retried up to
+  ``max_retries`` times, each attempt bumping the trace seed and the
+  fault-plan seed by ``reseed_step`` so the retry explores a different
+  deterministic universe rather than replaying the same crash.
+* **budget** — an optional wall-clock allowance per point; once spent,
+  remaining attempts and benchmarks of that point are recorded as
+  failed instead of started.
+* **checkpointing** — with ``checkpoint_path`` set, every completed
+  cell is appended to an atomic JSON checkpoint; re-invoking ``run()``
+  after a crash (or kill) replays completed cells from the file and
+  re-runs only the incomplete ones, with seeds untouched, so the
+  resumed grid is identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import itertools
+import json
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ReproError
 from repro.sim.config import SystemConfig
 from repro.sim.driver import run_benchmark
-from repro.sim.results import RunResult
+from repro.sim.results import RunResult, run_result_from_dict, run_result_to_dict
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import generate_trace
+
+CHECKPOINT_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -34,12 +62,64 @@ class SweepAxis:
 
 
 @dataclass
+class RunOutcome:
+    """How one (point, benchmark) cell ended."""
+
+    status: str  # "ok" | "failed"
+    attempts: int
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunOutcome":
+        try:
+            return cls(
+                status=str(payload["status"]),
+                attempts=int(payload["attempts"]),  # type: ignore[arg-type]
+                error=payload.get("error"),  # type: ignore[arg-type]
+                error_type=payload.get("error_type"),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed RunOutcome payload: {exc}") from exc
+
+
+@dataclass
 class SweepPoint:
     """One point of the cross product with its per-benchmark results."""
 
     coordinates: Dict[str, object]
     config: SystemConfig
     runs: Dict[str, RunResult] = field(default_factory=dict)
+    #: Per-benchmark completion records (present for every attempted
+    #: cell; ``runs`` only holds the successful ones).
+    outcomes: Dict[str, RunOutcome] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        """Stable identity of this point for checkpoint files."""
+        return json.dumps(
+            {k: str(v) for k, v in self.coordinates.items()}, sort_keys=True
+        )
+
+    @property
+    def complete(self) -> bool:
+        """Every attempted benchmark succeeded (vacuously true if none)."""
+        return all(o.ok for o in self.outcomes.values())
+
+    def failed_benchmarks(self) -> List[str]:
+        return sorted(b for b, o in self.outcomes.items() if not o.ok)
 
     def mean_ipc(self) -> float:
         if not self.runs:
@@ -53,8 +133,29 @@ class SweepPoint:
         return sum(self.runs[b].ipc / base.runs[b].ipc for b in shared) / len(shared)
 
 
+def _reseed_config(config: SystemConfig, bump: int) -> SystemConfig:
+    """A copy of ``config`` with fault-plan seed shifted by ``bump``.
+
+    Retries must not replay the exact upset schedule that killed the
+    previous attempt; the injector's RNG seed lives in the (frozen)
+    plan, so the reseeded attempt gets a replaced plan.
+    """
+    if bump == 0 or config.faults is None:
+        return config
+    plan = dataclasses.replace(config.faults, seed=config.faults.seed + bump)
+    return dataclasses.replace(config, faults=plan)
+
+
 class Sweep:
-    """Cross-product sweep runner with shared traces."""
+    """Cross-product sweep runner with shared traces.
+
+    ``max_retries`` is the number of *additional* attempts after a
+    failed one (total attempts per cell = 1 + max_retries); each
+    attempt ``k`` bumps the trace and fault seeds by
+    ``k * reseed_step``.  ``point_budget_s`` caps wall-clock per point.
+    ``checkpoint_path`` enables crash-tolerant resume (see module
+    docstring).
+    """
 
     def __init__(
         self,
@@ -64,6 +165,10 @@ class Sweep:
         n_references: int = 200_000,
         seed: int = 1,
         warmup_fraction: float = 0.4,
+        max_retries: int = 1,
+        reseed_step: int = 1000,
+        point_budget_s: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
         if not axes:
             raise ConfigurationError("sweep needs at least one axis")
@@ -72,12 +177,39 @@ class Sweep:
         self.benchmarks = list(benchmarks)
         if not self.benchmarks:
             raise ConfigurationError("sweep needs at least one benchmark")
+        for benchmark in self.benchmarks:
+            get_benchmark(benchmark)  # unknown names fail here, not per-cell
+        if n_references <= 0:
+            raise ConfigurationError(
+                f"n_references must be positive, got {n_references}"
+            )
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigurationError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        if reseed_step <= 0:
+            raise ConfigurationError(f"reseed_step must be positive, got {reseed_step}")
+        if point_budget_s is not None and point_budget_s <= 0:
+            raise ConfigurationError("point_budget_s must be positive")
         self.n_references = n_references
         self.seed = seed
         self.warmup_fraction = warmup_fraction
+        self.max_retries = max_retries
+        self.reseed_step = reseed_step
+        self.point_budget_s = point_budget_s
+        self.checkpoint_path = checkpoint_path
         self._traces: Dict[str, Trace] = {}
 
-    def _trace(self, benchmark: str) -> Trace:
+    def _trace(self, benchmark: str, attempt: int = 0) -> Trace:
+        """The shared base trace, or a fresh reseeded one for retries."""
+        if attempt:
+            return generate_trace(
+                get_benchmark(benchmark),
+                self.n_references,
+                seed=self.seed + attempt * self.reseed_step,
+            )
         if benchmark not in self._traces:
             self._traces[benchmark] = generate_trace(
                 get_benchmark(benchmark), self.n_references, seed=self.seed
@@ -96,23 +228,166 @@ class Sweep:
             result.append(SweepPoint(coordinates=coordinates, config=config))
         return result
 
-    def run(self) -> List[SweepPoint]:
-        """Run every point over every benchmark; returns filled points."""
-        points = self.points()
-        for point in points:
-            for benchmark in self.benchmarks:
-                point.runs[benchmark] = run_benchmark(
-                    point.config,
+    # --- checkpointing ---
+
+    def signature(self) -> str:
+        """Hash of everything that determines the grid's results.
+
+        A checkpoint written under one signature is refused under
+        another, so a stale file can never leak foreign results into a
+        resumed sweep.
+        """
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "axes": [
+                {"name": a.name, "values": [str(v) for v in a.values]}
+                for a in self.axes
+            ],
+            "configs": [p.config.name for p in self.points()],
+            "benchmarks": self.benchmarks,
+            "n_references": self.n_references,
+            "seed": self.seed,
+            "warmup_fraction": self.warmup_fraction,
+            "max_retries": self.max_retries,
+            "reseed_step": self.reseed_step,
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def _load_checkpoint(self, signature: str) -> Dict[str, Dict[str, dict]]:
+        """Completed cells from a prior run, keyed by point then bench."""
+        path = self.checkpoint_path
+        if path is None or not os.path.exists(path):
+            return {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"unreadable sweep checkpoint {path!r}: {exc}"
+            ) from exc
+        if payload.get("signature") != signature:
+            raise ConfigurationError(
+                f"checkpoint {path!r} belongs to a different sweep "
+                "(signature mismatch); delete it or pick another path"
+            )
+        cells = payload.get("cells", {})
+        if not isinstance(cells, dict):
+            raise ConfigurationError(f"malformed sweep checkpoint {path!r}")
+        return cells
+
+    def _save_checkpoint(
+        self, signature: str, cells: Dict[str, Dict[str, dict]]
+    ) -> None:
+        """Atomically persist completed cells (write temp + rename)."""
+        path = self.checkpoint_path
+        if path is None:
+            return
+        payload = {"signature": signature, "cells": cells}
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # --- the run loop ---
+
+    def _run_cell(
+        self, point: SweepPoint, benchmark: str, deadline: Optional[float]
+    ) -> Tuple[Optional[RunResult], RunOutcome]:
+        """One (point, benchmark) cell: attempt, retry-with-reseed."""
+        last_error: Optional[ReproError] = None
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            if (
+                attempt
+                and deadline is not None
+                and time.monotonic() >= deadline
+            ):
+                break
+            attempts += 1
+            try:
+                result = run_benchmark(
+                    _reseed_config(point.config, attempt * self.reseed_step),
                     benchmark,
-                    trace=self._trace(benchmark),
+                    trace=self._trace(benchmark, attempt),
                     warmup_fraction=self.warmup_fraction,
-                    seed=self.seed,
+                    seed=self.seed + attempt * self.reseed_step,
                 )
+                return result, RunOutcome(status="ok", attempts=attempts)
+            except ReproError as exc:
+                # Modeled failures (faults, configuration of this point)
+                # stay inside the cell; simulator bugs propagate.
+                last_error = exc
+        if attempts == 0:
+            message, error_type = "point budget exhausted before attempt", "Budget"
+        else:
+            assert last_error is not None
+            message, error_type = str(last_error), type(last_error).__name__
+        return None, RunOutcome(
+            status="failed", attempts=attempts, error=message, error_type=error_type
+        )
+
+    def run(self, resume: bool = True) -> List[SweepPoint]:
+        """Run every point over every benchmark; returns filled points.
+
+        With ``checkpoint_path`` set and ``resume`` true, completed
+        cells found in the checkpoint are restored instead of re-run.
+        Failed cells are recorded (not raised); inspect
+        ``point.outcomes`` / ``point.failed_benchmarks()``.
+        """
+        points = self.points()
+        signature = self.signature()
+        cells = self._load_checkpoint(signature) if resume else {}
+        for point in points:
+            saved = cells.setdefault(point.key, {})
+            deadline: Optional[float] = None
+            for benchmark in self.benchmarks:
+                cached = saved.get(benchmark)
+                if cached is not None:
+                    point.outcomes[benchmark] = RunOutcome.from_dict(
+                        cached["outcome"]
+                    )
+                    if cached.get("result") is not None:
+                        point.runs[benchmark] = run_result_from_dict(
+                            cached["result"]
+                        )
+                    continue
+                if deadline is None and self.point_budget_s is not None:
+                    # The budget clock starts at the point's first
+                    # non-cached cell, so resumed points get a full
+                    # allowance for their remaining work.
+                    deadline = time.monotonic() + self.point_budget_s
+                if deadline is not None and time.monotonic() >= deadline:
+                    outcome = RunOutcome(
+                        status="failed",
+                        attempts=0,
+                        error="point budget exhausted",
+                        error_type="Budget",
+                    )
+                    result = None
+                else:
+                    result, outcome = self._run_cell(point, benchmark, deadline)
+                point.outcomes[benchmark] = outcome
+                if result is not None:
+                    point.runs[benchmark] = result
+                saved[benchmark] = {
+                    "outcome": outcome.to_dict(),
+                    "result": None if result is None else run_result_to_dict(result),
+                }
+                self._save_checkpoint(signature, cells)
         return points
 
 
 def tabulate(points: Sequence[SweepPoint], metric: Callable[[SweepPoint], float]) -> str:
-    """Render sweep results as an aligned text table."""
+    """Render sweep results as an aligned text table.
+
+    Points whose metric cannot be computed (all-failed cells, missing
+    base runs) render as ``failed`` instead of aborting the table.
+    """
     if not points:
         raise ConfigurationError("nothing to tabulate")
     names = list(points[0].coordinates)
@@ -120,5 +395,9 @@ def tabulate(points: Sequence[SweepPoint], metric: Callable[[SweepPoint], float]
     lines = [header]
     for point in points:
         cells = "  ".join(f"{str(point.coordinates[n]):<16}" for n in names)
-        lines.append(f"{cells}  {metric(point):.4f}")
+        try:
+            rendered = f"{metric(point):.4f}"
+        except ReproError:
+            rendered = "failed"
+        lines.append(f"{cells}  {rendered}")
     return "\n".join(lines)

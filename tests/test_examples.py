@@ -44,6 +44,27 @@ def test_branch_predictor(monkeypatch, capsys):
     assert "mispredict rate" in out
 
 
+def test_fault_resilience_checkpoint_and_resume(monkeypatch, capsys, tmp_path):
+    # Shrink the grid's trace length so the example finishes in CI time.
+    path = "examples/fault_resilience.py"
+    source = open(path).read()
+    assert "120_000" in source
+    shrunk = source.replace("120_000", "20_000")
+    checkpoint = str(tmp_path / "resilience.json")
+    monkeypatch.setattr(sys, "argv", [path, "twolf", checkpoint])
+
+    exec(compile(shrunk, path, "exec"), {"__name__": "__main__"})
+    first = capsys.readouterr().out
+    assert "wrote checkpoint" in first
+    assert "nurapid rel IPC" in first
+
+    exec(compile(shrunk, path, "exec"), {"__name__": "__main__"})
+    second = capsys.readouterr().out
+    assert "resumed from checkpoint" in second
+    # Everything below the timing line is restored bit-identically.
+    assert first.splitlines()[1:] == second.splitlines()[1:]
+
+
 @pytest.mark.slow
 def test_design_space(monkeypatch, capsys):
     out = run_example(

@@ -214,6 +214,16 @@ class TestBehavioralExperiments:
         report = exp.run_experiment("ablation_dnuca_insert", shrunk)
         assert len(report.rows) == 2
 
+    def test_ablation_faults(self, shrunk):
+        report = exp.run_experiment("ablation_faults", shrunk)
+        assert len(report.rows) == 7  # 2 archs x 3 rates + hard-fault row
+        nurapid_rows = [r for r in report.rows if r["arch"] == "nurapid"]
+        # Wide interleaving: every strike corrected, no cell ever fails.
+        assert all(r["data loss"] == 0 for r in nurapid_rows)
+        assert all(r["failed cells"] == 0 for r in nurapid_rows)
+        # Hard faults beyond spares shrank d-group 0 without a crash.
+        assert report.summary["dg0 frames retired (hard-fault row)"] > 0
+
 
 class TestCLI:
     def test_list(self, capsys):

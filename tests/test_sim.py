@@ -78,6 +78,22 @@ class TestDriver:
         assert r.l1_energy_nj > 0
         assert r.lower_energy_nj > 0
 
+    def test_invalid_reference_count_rejected_eagerly(self):
+        for bad in (0, -5):
+            with pytest.raises(ConfigurationError, match="n_references"):
+                run_benchmark(base_config(), "twolf", n_references=bad)
+
+    def test_invalid_warmup_fraction_rejected_eagerly(self):
+        for bad in (-0.1, 1.0, 1.5):
+            with pytest.raises(ConfigurationError, match="warmup_fraction"):
+                run_benchmark(
+                    base_config(), "twolf", n_references=REFS, warmup_fraction=bad
+                )
+        with pytest.raises(ConfigurationError, match="warmup_fraction"):
+            run_suite(
+                base_config(), ["twolf"], n_references=REFS, warmup_fraction=2.0
+            )
+
     def test_determinism(self):
         a = run_benchmark(base_config(), "twolf", n_references=REFS, seed=2)
         b = run_benchmark(base_config(), "twolf", n_references=REFS, seed=2)
@@ -143,6 +159,23 @@ def make_result(benchmark="b", config="c", ipc_cycles=(1000, 1000.0), **kw):
 
 
 class TestResults:
+    def test_dict_roundtrip_restores_int_dgroup_keys(self):
+        import json
+
+        from repro.sim.results import run_result_from_dict, run_result_to_dict
+
+        r = make_result(dgroup_fractions={0: 0.5, 3: 0.1}, stats={"hits": 9.0})
+        payload = json.loads(json.dumps(run_result_to_dict(r)))
+        restored = run_result_from_dict(payload)
+        assert restored == r
+        assert all(isinstance(k, int) for k in restored.dgroup_fractions)
+
+    def test_malformed_payload_rejected(self):
+        from repro.sim.results import run_result_from_dict
+
+        with pytest.raises(ConfigurationError):
+            run_result_from_dict({"benchmark": "x"})
+
     def test_derived_properties(self):
         r = make_result()
         assert r.ipc == 1.0

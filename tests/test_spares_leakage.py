@@ -48,6 +48,14 @@ class TestRepairDomain:
         with pytest.raises(ConfigurationError):
             d.fail_subarray(8)
 
+    def test_validation_messages_are_precise(self):
+        with pytest.raises(ConfigurationError, match="data_subarrays must be positive"):
+            RepairDomain("d", 0, 1)
+        with pytest.raises(
+            ConfigurationError, match="spare_subarrays must be non-negative"
+        ):
+            RepairDomain("d", 8, -1)
+
 
 class TestSpareManager:
     def test_defect_injection_counts_unrepaired(self):
@@ -64,6 +72,22 @@ class TestSpareManager:
         mgr.add_domain("d", 50, 0)
         assert mgr.inject_defects(DeterministicRNG(1, "x"), 0.0) == 0
         assert mgr.healthy
+
+    def test_exhaustion_takes_the_die_path_deterministically(self):
+        # More defects than spares: the first two failures remap, the
+        # remaining six are permanently unrepaired, and any access to
+        # them raises — the documented die path, same result every run.
+        mgr = SpareManager()
+        mgr.add_domain("d", 8, 2)
+        unrepaired = mgr.inject_defects(DeterministicRNG(5, "d"), 1.0)
+        assert unrepaired == 6
+        assert not mgr.healthy
+        summary = mgr.summary()["d"]
+        assert summary["failed"] == 8
+        assert summary["repaired"] == 2
+        assert mgr.domain("d").physical_subarray(0) == 8
+        with pytest.raises(SimulationError):
+            mgr.domain("d").physical_subarray(7)
 
     def test_duplicate_domain_rejected(self):
         mgr = SpareManager()
