@@ -2,24 +2,52 @@
 
 A compact version of the paper's §5.2–5.3 exploration on a single
 benchmark: how the number of d-groups and the promotion policy trade
-fast-group hits against swap traffic.
+fast-group hits against swap traffic.  The ten runs are independent,
+so the grid goes through the process-pool cell executor — pass a jobs
+count to spread them over cores (results are identical for any value).
 
-Run:  python examples/design_space.py [benchmark]
+Run:  python examples/design_space.py [benchmark] [jobs]
 """
 
 import sys
 
 from repro.floorplan.dgroups import build_nurapid_geometry
 from repro.nurapid.config import PromotionPolicy
-from repro.sim import base_config, nurapid_config, run_benchmark
+from repro.sim import base_config, nurapid_config
+from repro.sim.parallel import CellTask, run_cells
+from repro.sim.results import run_result_from_dict
 from repro.workloads import generate_trace, get_benchmark
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "galgel"
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     profile = get_benchmark(benchmark)
     trace = generate_trace(profile, 300_000, seed=1)
-    base = run_benchmark(base_config(), benchmark, trace=trace, warmup_fraction=0.4)
+
+    grid = [base_config()] + [
+        nurapid_config(n_dgroups=n, promotion=policy)
+        for n in (2, 4, 8)
+        for policy in PromotionPolicy
+    ]
+    tasks = [
+        CellTask(
+            index=i,
+            config=config,
+            benchmark=benchmark,
+            n_references=300_000,
+            seed=1,
+            warmup_fraction=0.4,
+            trace=trace,
+            isolate_errors=False,
+        )
+        for i, config in enumerate(grid)
+    ]
+    results = [
+        run_result_from_dict(payload["result"])
+        for payload in run_cells(tasks, jobs)
+    ]
+    base, rest = results[0], results[1:]
 
     print("Physical design (from the mini-Cacti + floorplan models):")
     for n in (2, 4, 8):
@@ -34,16 +62,14 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    for n in (2, 4, 8):
-        for policy in PromotionPolicy:
-            config = nurapid_config(n_dgroups=n, promotion=policy)
-            r = run_benchmark(config, benchmark, trace=trace, warmup_fraction=0.4)
-            rel = r.ipc / base.ipc
-            swaps = 1000.0 * r.stats.get("moves", 0.0) / max(1, r.l2_accesses)
-            print(
-                f"{n:>9}{policy.value:>15}{(rel - 1) * 100:>+8.1f}%"
-                f"{r.dgroup_fractions.get(0, 0.0):>10.1%}{swaps:>13.1f}"
-            )
+    cells = [(n, policy) for n in (2, 4, 8) for policy in PromotionPolicy]
+    for (n, policy), r in zip(cells, rest):
+        rel = r.ipc / base.ipc
+        swaps = 1000.0 * r.stats.get("moves", 0.0) / max(1, r.l2_accesses)
+        print(
+            f"{n:>9}{policy.value:>15}{(rel - 1) * 100:>+8.1f}%"
+            f"{r.dgroup_fractions.get(0, 0.0):>10.1%}{swaps:>13.1f}"
+        )
 
     print()
     print("Expected shape (paper §5.3.2): 4 and 8 d-groups clearly beat 2;")

@@ -1,0 +1,226 @@
+"""Perf-baseline harness: wall-clock trajectory for the simulator.
+
+Times a fixed, representative replay workload — one NuRAPID and one
+S-NUCA configuration over two benchmarks — first serially, then
+through the :mod:`repro.sim.parallel` process pool, verifies the two
+produce bit-identical results, and appends the timings to a JSON
+ledger (``BENCH_sim.json`` at the repo root by default).  Each PR that
+touches the hot path can re-run this and the ledger becomes the
+wall-clock trajectory reviewers diff against::
+
+    python -m repro.bench                       # defaults, appends entry
+    python -m repro.bench --refs 60000 --jobs 2 --label ci
+
+The harness is informational: it never fails on slow hardware, only on
+a serial/parallel result mismatch (which would mean the engine broke
+determinism — the one property this file exists to guard).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro.sim.config import SystemConfig, nurapid_config, snuca_config
+from repro.sim.driver import run_benchmark
+from repro.sim.parallel import CellTask, run_cells
+from repro.sim.results import run_result_to_dict
+from repro.workloads.trace import Trace
+from repro.workloads.tracegen import TraceCache, default_trace_cache_dir
+
+DEFAULT_REFS = 120_000
+DEFAULT_BENCHMARKS = ["galgel", "twolf"]
+DEFAULT_WARMUP = 0.4
+LEDGER_FORMAT = 1
+
+
+def standard_configs() -> List[SystemConfig]:
+    """The fixed config pair the baseline times (NuRAPID + S-NUCA)."""
+    return [nurapid_config(), snuca_config()]
+
+
+def _time_serial(
+    configs: List[SystemConfig],
+    benchmarks: List[str],
+    traces: Dict[str, Trace],
+    refs: int,
+    seed: int,
+    warmup: float,
+) -> Dict[str, object]:
+    per_cell = {}
+    started = time.perf_counter()
+    results = {}
+    for config in configs:
+        for benchmark in benchmarks:
+            cell_start = time.perf_counter()
+            result = run_benchmark(
+                config,
+                benchmark,
+                n_references=refs,
+                trace=traces[benchmark],
+                warmup_fraction=warmup,
+                seed=seed,
+            )
+            per_cell[f"{config.name}/{benchmark}"] = round(
+                time.perf_counter() - cell_start, 3
+            )
+            results[(config.name, benchmark)] = run_result_to_dict(result)
+    return {
+        "total_s": round(time.perf_counter() - started, 3),
+        "per_cell_s": per_cell,
+        "results": results,
+    }
+
+
+def _time_parallel(
+    configs: List[SystemConfig],
+    benchmarks: List[str],
+    trace_paths: Dict[str, str],
+    refs: int,
+    seed: int,
+    warmup: float,
+    jobs: int,
+) -> Dict[str, object]:
+    cells = [(c, b) for c in configs for b in benchmarks]
+    tasks = [
+        CellTask(
+            index=i,
+            config=config,
+            benchmark=benchmark,
+            n_references=refs,
+            seed=seed,
+            warmup_fraction=warmup,
+            trace_path=trace_paths[benchmark],
+            isolate_errors=False,
+        )
+        for i, (config, benchmark) in enumerate(cells)
+    ]
+    started = time.perf_counter()
+    payloads = run_cells(tasks, jobs)
+    total = time.perf_counter() - started
+    results = {}
+    for payload in payloads:
+        config, benchmark = cells[payload["index"]]
+        results[(config.name, benchmark)] = payload["result"]
+    return {"total_s": round(total, 3), "results": results}
+
+
+def load_ledger(path: str) -> Dict[str, object]:
+    if not os.path.exists(path):
+        return {"format": LEDGER_FORMAT, "entries": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        ledger = json.load(handle)
+    if not isinstance(ledger, dict) or "entries" not in ledger:
+        raise SystemExit(f"{path} is not a BENCH_sim ledger; refusing to overwrite")
+    return ledger
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time the standard replay workload and append to the ledger.",
+    )
+    parser.add_argument("--refs", type=int, default=DEFAULT_REFS)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--warmup", type=float, default=DEFAULT_WARMUP)
+    parser.add_argument(
+        "--benchmarks", nargs=2, default=DEFAULT_BENCHMARKS, metavar="BENCH"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="workers for the parallel pass (default: up to 4 cores)",
+    )
+    parser.add_argument("--out", default="BENCH_sim.json")
+    parser.add_argument(
+        "--label", default=None, help="free-form tag recorded with the entry"
+    )
+    args = parser.parse_args(argv)
+    jobs = args.jobs or min(4, os.cpu_count() or 1)
+
+    configs = standard_configs()
+    benchmarks = list(args.benchmarks)
+
+    cache_dir = default_trace_cache_dir()
+    scratch: Optional[str] = None
+    if cache_dir is None:
+        scratch = tempfile.mkdtemp(prefix="repro-bench-traces-")
+        cache_dir = scratch
+    try:
+        cache = TraceCache(cache_dir)
+        trace_start = time.perf_counter()
+        traces, trace_paths = {}, {}
+        for benchmark in benchmarks:
+            traces[benchmark], trace_paths[benchmark] = cache.fetch(
+                benchmark, args.refs, seed=args.seed
+            )
+        trace_s = round(time.perf_counter() - trace_start, 3)
+
+        serial = _time_serial(
+            configs, benchmarks, traces, args.refs, args.seed, args.warmup
+        )
+        parallel = _time_parallel(
+            configs, benchmarks, trace_paths, args.refs, args.seed, args.warmup, jobs
+        )
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    identical = serial["results"] == parallel["results"]
+    speedup = (
+        serial["total_s"] / parallel["total_s"] if parallel["total_s"] else 0.0
+    )
+    entry = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "label": args.label,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "refs": args.refs,
+        "warmup_fraction": args.warmup,
+        "seed": args.seed,
+        "benchmarks": benchmarks,
+        "configs": [c.name for c in configs],
+        "jobs": jobs,
+        "trace_s": trace_s,
+        "serial_s": serial["total_s"],
+        "serial_per_cell_s": serial["per_cell_s"],
+        "parallel_s": parallel["total_s"],
+        "speedup": round(speedup, 3),
+        "identical": identical,
+    }
+
+    ledger = load_ledger(args.out)
+    ledger["format"] = LEDGER_FORMAT
+    ledger["entries"].append(entry)
+    tmp = f"{args.out}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(ledger, handle, indent=2)
+        handle.write("\n")
+    os.replace(tmp, args.out)
+
+    print(
+        f"traces {trace_s}s | serial {serial['total_s']}s | "
+        f"parallel(jobs={jobs}) {parallel['total_s']}s | "
+        f"speedup {speedup:.2f}x | identical={identical}"
+    )
+    print(f"appended entry #{len(ledger['entries'])} to {args.out}")
+    if not identical:
+        print("ERROR: parallel results diverge from serial — engine bug")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

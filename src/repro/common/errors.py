@@ -53,3 +53,10 @@ class UncorrectableDataError(FaultError):
         self.level = level
         self.address = address
         self.access_index = access_index
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``args``
+        # (the formatted message), which doesn't match this signature;
+        # parallel workers re-raise these across process boundaries,
+        # so rebuild from the original fields instead.
+        return (type(self), (self.level, self.address, self.access_index))

@@ -14,7 +14,9 @@ from repro.experiments.common import (
     SMOKE,
     Scale,
     clear_caches,
+    default_jobs,
     scale_by_name,
+    set_default_jobs,
 )
 
 
@@ -87,7 +89,9 @@ __all__ = [
     "SMOKE",
     "Scale",
     "clear_caches",
+    "default_jobs",
     "experiment_names",
     "run_experiment",
     "scale_by_name",
+    "set_default_jobs",
 ]

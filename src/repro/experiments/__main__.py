@@ -6,6 +6,7 @@ Examples::
     python -m repro.experiments table4
     python -m repro.experiments figure6 figure9 --scale full
     python -m repro.experiments all --scale quick --out results/
+    python -m repro.experiments all --scale full --jobs 8
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import sys
 import time
 
 from repro.experiments import experiment_names, run_experiment, scale_by_name
+from repro.experiments.common import set_default_jobs
 
 
 def main(argv=None) -> int:
@@ -39,6 +41,13 @@ def main(argv=None) -> int:
         "--out", default=None, help="directory to also write .txt/.json reports"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for (config, benchmark) grids "
+        "(default: $REPRO_JOBS or 1; results are identical for any value)",
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="also render distribution figures as ASCII stacked bars",
@@ -60,6 +69,8 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
     scale = scale_by_name(args.scale)
+    if args.jobs is not None:
+        set_default_jobs(args.jobs)
     if args.out:
         os.makedirs(args.out, exist_ok=True)
 

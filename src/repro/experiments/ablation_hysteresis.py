@@ -9,7 +9,13 @@ placement benefit while cutting swap energy further.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run, pct
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    pct,
+    run_matrix,
+)
 from repro.sim.config import base_config, nurapid_config
 
 SUBSET = ["art", "galgel", "twolf", "wupwise"]
@@ -17,6 +23,12 @@ SUBSET = ["art", "galgel", "twolf", "wupwise"]
 
 def run(scale: Scale) -> ExperimentReport:
     base = base_config()
+    run_matrix(  # parallel prefetch of the whole grid
+        [base]
+        + [nurapid_config(promotion_hysteresis=h) for h in (1, 2, 4, 8)],
+        SUBSET,
+        scale,
+    )
     rows = []
     for hysteresis in (1, 2, 4, 8):
         config = nurapid_config(promotion_hysteresis=hysteresis)

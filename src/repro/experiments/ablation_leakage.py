@@ -11,7 +11,7 @@ sensitivity, and the wake-up cost in extra latency charged to far hits
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run
+from repro.experiments.common import ExperimentReport, Scale, cached_run, run_matrix
 from repro.floorplan.dgroups import build_nurapid_geometry
 from repro.sim.config import nurapid_config
 from repro.tech.leakage import (
@@ -36,6 +36,7 @@ def run(scale: Scale) -> ExperimentReport:
     )
 
     # Far-hit shares from real runs decide the wake-up penalty exposure.
+    run_matrix([nurapid_config()], SUBSET, scale)  # parallel prefetch
     far_fraction = 0.0
     for benchmark in SUBSET:
         result = cached_run(nurapid_config(), benchmark, scale)

@@ -10,7 +10,13 @@ work turns on.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run, pct
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    pct,
+    run_matrix,
+)
 from repro.nuca.config import SearchPolicy
 from repro.sim.config import base_config, dnuca_config, nurapid_config, snuca_config
 
@@ -24,6 +30,7 @@ def run(scale: Scale) -> ExperimentReport:
         "nurapid (distance-assoc)": nurapid_config(),
     }
     base = base_config()
+    run_matrix([base, *configs.values()], SUBSET, scale)  # parallel prefetch
     rows = []
     for benchmark in SUBSET:
         base_run = cached_run(base, benchmark, scale)

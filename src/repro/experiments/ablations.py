@@ -17,7 +17,13 @@ benchmarks (3 high-load of varied working-set size + 1 low-load).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run, pct
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    pct,
+    run_matrix,
+)
 from repro.floorplan.dgroups import build_uniform_cache_spec
 from repro.nuca.config import SearchPolicy
 from repro.nurapid.config import DistanceReplacementKind, PromotionPolicy
@@ -28,6 +34,16 @@ SUBSET = ["art", "equake", "twolf", "wupwise"]
 
 def run_policies(scale: Scale) -> ExperimentReport:
     base = base_config()
+    run_matrix(  # parallel prefetch of the whole grid
+        [base]
+        + [
+            nurapid_config(promotion=promo, distance_replacement=kind)
+            for promo in PromotionPolicy
+            for kind in DistanceReplacementKind
+        ],
+        SUBSET,
+        scale,
+    )
     rows = []
     for promo in PromotionPolicy:
         for kind in DistanceReplacementKind:

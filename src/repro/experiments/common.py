@@ -4,6 +4,14 @@ Experiments share traces and run results through in-process caches so
 that e.g. Figures 5–9, which all need the base system's runs, pay for
 them once.  Every experiment returns an :class:`ExperimentReport` that
 renders to the same aligned-text table the paper's figure/table would.
+
+Experiments declare their ``configs x benchmarks`` grids through
+:func:`run_matrix`, which farms uncached cells out to worker processes
+(:mod:`repro.sim.parallel`) when a jobs count above one is in effect —
+set process-wide by the CLI's ``--jobs`` flag via
+:func:`set_default_jobs`, or by ``REPRO_JOBS`` in the environment.
+Parallel cells are seeded identically to serial ones, so the cached
+results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -16,10 +24,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.common.errors import ConfigurationError
 from repro.sim.config import SystemConfig
 from repro.sim.driver import run_benchmark
-from repro.sim.results import RunResult
+from repro.sim.results import RunResult, run_result_from_dict
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
-from repro.workloads.tracegen import generate_trace
+from repro.workloads.tracegen import TraceCache, default_trace_cache_dir, generate_trace
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,7 @@ SMOKE = Scale(name="smoke", n_references=60_000, warmup_fraction=0.3)
 
 _TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
 _RUN_CACHE: Dict[Tuple[str, str, int, float, int], RunResult] = {}
+_DEFAULT_JOBS: Optional[int] = None
 
 
 def clear_caches() -> None:
@@ -46,32 +55,56 @@ def clear_caches() -> None:
     _RUN_CACHE.clear()
 
 
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide worker count experiments use (None: reset).
+
+    The CLI's ``--jobs`` flag lands here; individual ``run_matrix``
+    calls can still override per call.
+    """
+    global _DEFAULT_JOBS
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    _DEFAULT_JOBS = jobs
+
+
+def default_jobs() -> int:
+    """The effective worker count: ``set_default_jobs``, ``REPRO_JOBS``, or 1."""
+    if _DEFAULT_JOBS is not None:
+        return _DEFAULT_JOBS
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+        if jobs < 1:
+            raise ConfigurationError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
+    return 1
+
+
 def shared_trace(benchmark: str, scale: Scale) -> Trace:
     """The benchmark's trace at this scale, generated at most once.
 
     Set ``REPRO_TRACE_CACHE=/some/dir`` to also persist traces to disk
-    (as ``.npz``), so repeated full-scale experiment runs skip
-    generation entirely.
+    (as ``.npz`` via :class:`~repro.workloads.tracegen.TraceCache`), so
+    repeated full-scale experiment runs — and parallel workers — skip
+    generation entirely; a corrupted cache file is regenerated in
+    place.
     """
     key = (benchmark, scale.n_references, scale.seed)
     if key not in _TRACE_CACHE:
-        cache_dir = os.environ.get("REPRO_TRACE_CACHE")
-        path = None
+        cache_dir = default_trace_cache_dir()
         if cache_dir:
-            os.makedirs(cache_dir, exist_ok=True)
-            path = os.path.join(
-                cache_dir,
-                f"{benchmark}-{scale.n_references}-{scale.seed}.npz",
+            _TRACE_CACHE[key] = TraceCache(cache_dir).get(
+                benchmark, scale.n_references, seed=scale.seed
             )
-            if os.path.exists(path):
-                _TRACE_CACHE[key] = Trace.load(path)
-                return _TRACE_CACHE[key]
-        trace = generate_trace(
-            get_benchmark(benchmark), scale.n_references, seed=scale.seed
-        )
-        if path:
-            trace.save(path)
-        _TRACE_CACHE[key] = trace
+        else:
+            _TRACE_CACHE[key] = generate_trace(
+                get_benchmark(benchmark), scale.n_references, seed=scale.seed
+            )
     return _TRACE_CACHE[key]
 
 
@@ -82,7 +115,7 @@ def cached_run(config: SystemConfig, benchmark: str, scale: Scale) -> RunResult:
     :mod:`repro.sim.config`), so the name is a safe cache key within
     one process.
     """
-    key = (config.name, benchmark, scale.n_references, scale.warmup_fraction, scale.seed)
+    key = _run_key(config, benchmark, scale)
     if key not in _RUN_CACHE:
         _RUN_CACHE[key] = run_benchmark(
             config,
@@ -94,10 +127,77 @@ def cached_run(config: SystemConfig, benchmark: str, scale: Scale) -> RunResult:
     return _RUN_CACHE[key]
 
 
+def _run_key(
+    config: SystemConfig, benchmark: str, scale: Scale
+) -> Tuple[str, str, int, float, int]:
+    return (
+        config.name,
+        benchmark,
+        scale.n_references,
+        scale.warmup_fraction,
+        scale.seed,
+    )
+
+
 def run_matrix(
-    configs: List[SystemConfig], benchmarks: List[str], scale: Scale
+    configs: List[SystemConfig],
+    benchmarks: List[str],
+    scale: Scale,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
-    """results[config.name][benchmark] for a config x benchmark grid."""
+    """results[config.name][benchmark] for a config x benchmark grid.
+
+    With an effective ``jobs`` count above one (argument, else
+    :func:`default_jobs`), the grid's uncached cells run on worker
+    processes and land in the shared run cache, so subsequent
+    :func:`cached_run` calls for the same cells are hits.  Any run
+    error raises, exactly like the serial path.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    pending = [
+        (config, benchmark)
+        for config in configs
+        for benchmark in benchmarks
+        if _run_key(config, benchmark, scale) not in _RUN_CACHE
+    ]
+    if jobs > 1 and len(pending) > 1:
+        from repro.sim.parallel import CellTask, run_cells
+
+        cache_dir = default_trace_cache_dir()
+        disk_cache = TraceCache(cache_dir) if cache_dir else None
+        tasks = []
+        for index, (config, benchmark) in enumerate(pending):
+            # With a disk cache workers load the trace by path; without
+            # one, ship the in-memory trace inline (pickled once per
+            # cell) so behavior needs no configuration.
+            trace_path = None
+            trace = None
+            if disk_cache is not None:
+                trace_path = disk_cache.ensure(
+                    benchmark, scale.n_references, seed=scale.seed
+                )
+            else:
+                trace = shared_trace(benchmark, scale)
+            tasks.append(
+                CellTask(
+                    index=index,
+                    config=config,
+                    benchmark=benchmark,
+                    n_references=scale.n_references,
+                    seed=scale.seed,
+                    warmup_fraction=scale.warmup_fraction,
+                    trace=trace,
+                    trace_path=trace_path,
+                    isolate_errors=False,
+                )
+            )
+        for payload in run_cells(tasks, jobs):
+            config, benchmark = pending[payload["index"]]
+            _RUN_CACHE[_run_key(config, benchmark, scale)] = run_result_from_dict(
+                payload["result"]
+            )
     return {
         config.name: {b: cached_run(config, b, scale) for b in benchmarks}
         for config in configs

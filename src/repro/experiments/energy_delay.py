@@ -11,7 +11,7 @@ treatment; for the ED product we report both.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run
+from repro.experiments.common import ExperimentReport, Scale, cached_run, run_matrix
 from repro.nuca.config import SearchPolicy
 from repro.sim.config import base_config, dnuca_config, nurapid_config
 from repro.workloads.spec2k import suite_names
@@ -24,6 +24,7 @@ def run(scale: Scale) -> ExperimentReport:
         "dnuca-ss-energy": dnuca_config(policy=SearchPolicy.SS_ENERGY),
         "nurapid": nurapid_config(),
     }
+    run_matrix(list(configs.values()), suite_names(), scale)  # parallel prefetch
     rows = []
     ed_ratio = {label: [] for label in configs if label != "base"}
     for benchmark in suite_names():

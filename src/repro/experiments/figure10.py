@@ -10,7 +10,7 @@ promotion.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run
+from repro.experiments.common import ExperimentReport, Scale, cached_run, run_matrix
 from repro.nuca.config import SearchPolicy
 from repro.sim.config import base_config, dnuca_config, nurapid_config
 from repro.workloads.spec2k import suite_names
@@ -22,6 +22,7 @@ def run(scale: Scale) -> ExperimentReport:
         "dnuca-ss-energy": dnuca_config(policy=SearchPolicy.SS_ENERGY),
         "nurapid": nurapid_config(),
     }
+    run_matrix(list(configs.values()), suite_names(), scale)  # parallel prefetch
     rows = []
     energy = {label: 0.0 for label in configs}
     dgroup_accesses = {label: 0.0 for label in configs}

@@ -16,6 +16,7 @@ from repro.experiments.common import (
     cached_run,
     fraction_row,
     mean_over,
+    run_matrix,
 )
 from repro.sim.config import nurapid_config, sa_nuca_config
 from repro.workloads.spec2k import suite_names
@@ -25,6 +26,7 @@ N_GROUPS = 4
 
 def run(scale: Scale) -> ExperimentReport:
     configs = {"set-assoc": sa_nuca_config(), "dist-assoc": nurapid_config()}
+    run_matrix(list(configs.values()), suite_names(), scale)  # parallel prefetch
     rows = []
     per_config = {label: [] for label in configs}
     for benchmark in suite_names():

@@ -15,6 +15,7 @@ from repro.experiments.common import (
     cached_run,
     fraction_row,
     mean_over,
+    run_matrix,
 )
 from repro.nurapid.config import PromotionPolicy
 from repro.sim.config import nurapid_config
@@ -30,6 +31,9 @@ POLICIES = [
 
 
 def run(scale: Scale) -> ExperimentReport:
+    run_matrix(  # parallel prefetch of the whole grid
+        [nurapid_config(promotion=p) for p in POLICIES], suite_names(), scale
+    )
     rows = []
     per_policy = {p.value: [] for p in POLICIES}
     miss_by_policy = {p.value: [] for p in POLICIES}

@@ -9,7 +9,13 @@ fastest +5.6%, ideal +7.9%; next-fastest gains 6.9% on high-load and
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run, pct
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    pct,
+    run_matrix,
+)
 from repro.nurapid.config import PromotionPolicy
 from repro.sim.config import base_config, nurapid_config
 from repro.workloads.spec2k import high_load_names, low_load_names, suite_names
@@ -27,6 +33,7 @@ def _configs():
 def run(scale: Scale) -> ExperimentReport:
     base = base_config()
     configs = _configs()
+    run_matrix([base, *configs.values()], suite_names(), scale)  # parallel prefetch
     rows = []
     rel = {label: {} for label in configs}
     for benchmark in suite_names():

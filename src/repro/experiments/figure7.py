@@ -9,7 +9,13 @@ rates (total capacity unchanged).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run, mean_over
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    mean_over,
+    run_matrix,
+)
 from repro.sim.config import nurapid_config
 from repro.workloads.spec2k import suite_names
 
@@ -17,6 +23,9 @@ GROUP_COUNTS = (2, 4, 8)
 
 
 def run(scale: Scale) -> ExperimentReport:
+    run_matrix(  # parallel prefetch of the whole grid
+        [nurapid_config(n_dgroups=n) for n in GROUP_COUNTS], suite_names(), scale
+    )
     rows = []
     buckets = {n: [] for n in GROUP_COUNTS}
     miss_rows = {n: [] for n in GROUP_COUNTS}

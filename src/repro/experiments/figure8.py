@@ -9,7 +9,13 @@ groups, and 8 d-groups barely edge out 4 while (Figure 10) swapping
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run, pct
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    pct,
+    run_matrix,
+)
 from repro.sim.config import base_config, nurapid_config
 from repro.workloads.spec2k import high_load_names, low_load_names, suite_names
 
@@ -18,6 +24,11 @@ GROUP_COUNTS = (2, 4, 8)
 
 def run(scale: Scale) -> ExperimentReport:
     base = base_config()
+    run_matrix(  # parallel prefetch of the whole grid
+        [base, *(nurapid_config(n_dgroups=n) for n in GROUP_COUNTS)],
+        suite_names(),
+        scale,
+    )
     rows = []
     rel = {n: {} for n in GROUP_COUNTS}
     swaps = {n: 0.0 for n in GROUP_COUNTS}

@@ -10,7 +10,13 @@ applications.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run, pct
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    pct,
+    run_matrix,
+)
 from repro.nuca.config import SearchPolicy
 from repro.sim.config import base_config, dnuca_config, nurapid_config
 from repro.workloads.spec2k import suite_names
@@ -23,6 +29,7 @@ def run(scale: Scale) -> ExperimentReport:
         "NuRAPID 4dg": nurapid_config(n_dgroups=4),
         "NuRAPID 8dg": nurapid_config(n_dgroups=8),
     }
+    run_matrix([base, *configs.values()], suite_names(), scale)  # parallel prefetch
     rows = []
     rel = {label: {} for label in configs}
     for benchmark in suite_names():

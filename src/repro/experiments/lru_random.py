@@ -10,7 +10,13 @@ random.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run, mean_over
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    mean_over,
+    run_matrix,
+)
 from repro.nurapid.config import DistanceReplacementKind, PromotionPolicy
 from repro.sim.config import nurapid_config
 from repro.workloads.spec2k import suite_names
@@ -26,6 +32,7 @@ def run(scale: Scale) -> ExperimentReport:
             DistanceReplacementKind.APPROX_LRU,
         )
     }
+    run_matrix(list(variants.values()), suite_names(), scale)  # parallel prefetch
     rows = []
     buckets = {key: [] for key in variants}
     for benchmark in suite_names():

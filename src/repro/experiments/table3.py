@@ -7,7 +7,7 @@ paper's Table 3 values (reconstructed cells marked in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentReport, Scale, cached_run
+from repro.experiments.common import ExperimentReport, Scale, cached_run, run_matrix
 from repro.sim.config import base_config
 from repro.workloads.branches import characterize
 from repro.workloads.spec2k import SPEC2K_SUITE, suite_names
@@ -15,6 +15,7 @@ from repro.workloads.spec2k import SPEC2K_SUITE, suite_names
 
 def run(scale: Scale) -> ExperimentReport:
     config = base_config()
+    run_matrix([config], suite_names(), scale)  # parallel prefetch
     rows = []
     for name in suite_names():
         profile = SPEC2K_SUITE[name]

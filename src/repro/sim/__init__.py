@@ -17,6 +17,7 @@ from repro.sim.config import (
     snuca_config,
 )
 from repro.sim.driver import System, run_benchmark, run_suite
+from repro.sim.parallel import CellTask, execute_cell, run_cells
 from repro.sim.sweep import Sweep, SweepAxis, SweepPoint
 from repro.sim.results import (
     RunResult,
@@ -26,6 +27,7 @@ from repro.sim.results import (
 )
 
 __all__ = [
+    "CellTask",
     "RunResult",
     "Sweep",
     "SweepAxis",
@@ -36,7 +38,9 @@ __all__ = [
     "base_config",
     "build_system",
     "dnuca_config",
+    "execute_cell",
     "mean_distribution",
+    "run_cells",
     "nurapid_config",
     "relative_performance",
     "run_benchmark",

@@ -222,17 +222,91 @@ def run_suite(
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     traces: Optional[Dict[str, Trace]] = None,
+    energy_model: Optional[ProcessorEnergyModel] = None,
+    warm_set_conflict: int = 1,
+    prewarm: bool = True,
+    jobs: int = 1,
+    trace_cache_dir: Optional[str] = None,
 ) -> SuiteResult:
-    """Run a set of benchmarks on one configuration."""
+    """Run a set of benchmarks on one configuration.
+
+    All per-run knobs (``energy_model``, ``warm_set_conflict``,
+    ``prewarm``) are forwarded to every :func:`run_benchmark` call.
+    ``jobs=N`` runs the benchmarks on N worker processes through
+    :mod:`repro.sim.parallel` with identical seeding, so parallel
+    suite results are bit-identical to serial ones; a failing run
+    raises in the parent either way.  ``trace_cache_dir`` names the
+    on-disk trace store workers load from (default:
+    ``$REPRO_TRACE_CACHE``, else a temp directory for the call).
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    benchmarks = list(benchmarks)
     runs: Dict[str, RunResult] = {}
-    for name in benchmarks:
-        trace = traces.get(name) if traces else None
-        runs[name] = run_benchmark(
-            config,
-            name,
-            n_references=n_references,
-            seed=seed,
-            warmup_fraction=warmup_fraction,
-            trace=trace,
-        )
+    if jobs == 1 or len(benchmarks) <= 1:
+        for name in benchmarks:
+            trace = traces.get(name) if traces else None
+            runs[name] = run_benchmark(
+                config,
+                name,
+                n_references=n_references,
+                seed=seed,
+                warmup_fraction=warmup_fraction,
+                trace=trace,
+                energy_model=energy_model,
+                warm_set_conflict=warm_set_conflict,
+                prewarm=prewarm,
+            )
+        return SuiteResult(config_name=config.name, runs=runs)
+
+    # Imported here, not at module top: repro.sim.parallel imports this
+    # module for its workers.
+    import shutil
+    import tempfile
+
+    from repro.sim.parallel import CellTask, run_cells
+    from repro.sim.results import run_result_from_dict
+    from repro.workloads.tracegen import TraceCache, default_trace_cache_dir
+
+    cache_dir = trace_cache_dir or default_trace_cache_dir()
+    scratch: Optional[str] = None
+    tasks = []
+    try:
+        cache: Optional[TraceCache] = None
+        for index, name in enumerate(benchmarks):
+            trace = traces.get(name) if traces else None
+            trace_path = None
+            if trace is None:
+                if cache is None:
+                    if cache_dir is None:
+                        scratch = tempfile.mkdtemp(prefix="repro-trace-cache-")
+                        cache_dir = scratch
+                    cache = TraceCache(cache_dir)
+                trace_path = cache.ensure(
+                    name, n_references, seed=seed,
+                    warm_set_conflict=warm_set_conflict,
+                )
+            tasks.append(
+                CellTask(
+                    index=index,
+                    config=config,
+                    benchmark=name,
+                    n_references=n_references,
+                    seed=seed,
+                    warmup_fraction=warmup_fraction,
+                    trace=trace,
+                    trace_path=trace_path,
+                    warm_set_conflict=warm_set_conflict,
+                    prewarm=prewarm,
+                    energy_model=energy_model,
+                    isolate_errors=False,
+                )
+            )
+        for payload in run_cells(tasks, jobs):
+            runs[benchmarks[payload["index"]]] = run_result_from_dict(
+                payload["result"]
+            )
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
     return SuiteResult(config_name=config.name, runs=runs)

@@ -1,0 +1,216 @@
+"""Process-pool execution of independent simulation cells.
+
+Every figure, table, and sweep in this reproduction is a grid of
+``(config, benchmark)`` cells, and per-cell seeding makes each cell a
+pure function of its parameters — there is no shared mutable state
+between cells.  That makes the grid embarrassingly parallel: this
+module farms cells out to worker processes and returns their
+measurements through the existing :func:`run_result_to_dict` /
+``RunOutcome`` dictionary round-trip (the same serialization the sweep
+checkpoint format uses), so a parallel run is bit-identical to a
+serial one.
+
+Two deliberate design points:
+
+* **Tasks ship parameters, not callables.**  A :class:`CellTask`
+  carries a picklable :class:`~repro.sim.config.SystemConfig` built in
+  the parent, never the sweep's ``build()`` closure, so the engine
+  works under every multiprocessing start method (``fork``,
+  ``spawn``, ``forkserver``).
+* **Traces travel by path, not by value.**  Workers load the shared
+  base trace from an on-disk :class:`~repro.workloads.tracegen.TraceCache`
+  file with :meth:`~repro.workloads.trace.Trace.load` instead of
+  receiving tens of megabytes of pickled numpy arrays per cell;
+  retry attempts regenerate their reseeded traces in the worker, which
+  is exactly what the serial path does.
+
+Failure semantics mirror the serial sweep: with
+``isolate_errors=True`` a :class:`~repro.common.errors.ReproError`
+becomes a failed outcome payload (after the configured reseeded
+retries), while any other exception type is a simulator bug and
+propagates out of :func:`run_cells` in the parent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError, ReproError
+from repro.cpu.wattch import ProcessorEnergyModel
+from repro.sim.config import SystemConfig
+from repro.sim.driver import run_benchmark
+from repro.sim.results import run_result_to_dict
+from repro.workloads.spec2k import get_benchmark
+from repro.workloads.trace import Trace
+from repro.workloads.tracegen import generate_trace
+
+
+def reseed_config(config: SystemConfig, bump: int) -> SystemConfig:
+    """A copy of ``config`` with its fault-plan seed shifted by ``bump``.
+
+    Retries must not replay the exact upset schedule that killed the
+    previous attempt; the injector's RNG seed lives in the (frozen)
+    plan, so the reseeded attempt gets a replaced plan.
+    """
+    if bump == 0 or config.faults is None:
+        return config
+    plan = dataclasses.replace(config.faults, seed=config.faults.seed + bump)
+    return dataclasses.replace(config, faults=plan)
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One ``(config, benchmark)`` cell, fully specified and picklable.
+
+    ``index`` is caller-chosen and echoed back in the result payload so
+    completion order (which is nondeterministic) can be mapped back to
+    grid position.  ``trace_path`` points at a cached ``.npz`` for the
+    first attempt; when it is None and no inline ``trace`` is given the
+    worker generates the trace itself from ``(benchmark, seed,
+    n_references, warm_set_conflict)``.
+    """
+
+    index: int
+    config: SystemConfig
+    benchmark: str
+    n_references: int
+    seed: int
+    warmup_fraction: float
+    trace_path: Optional[str] = None
+    trace: Optional[Trace] = None
+    max_retries: int = 0
+    reseed_step: int = 1000
+    budget_s: Optional[float] = None
+    warm_set_conflict: int = 1
+    prewarm: bool = True
+    energy_model: Optional[ProcessorEnergyModel] = None
+    #: True: ReproErrors become failed-outcome payloads (sweep
+    #: semantics).  False: they propagate to the parent (suite
+    #: semantics, where one bad run should abort the suite).
+    isolate_errors: bool = True
+
+
+def _attempt_trace(task: CellTask, attempt: int) -> Trace:
+    """The cell's trace for one attempt (shared base, or reseeded)."""
+    if attempt == 0:
+        if task.trace is not None:
+            return task.trace
+        if task.trace_path is not None:
+            return Trace.load(task.trace_path)
+    return generate_trace(
+        get_benchmark(task.benchmark),
+        task.n_references,
+        seed=task.seed + attempt * task.reseed_step,
+        warm_set_conflict=task.warm_set_conflict,
+    )
+
+
+def execute_cell(task: CellTask) -> Dict[str, object]:
+    """Run one cell (attempt + reseeded retries); a picklable payload.
+
+    The payload mirrors one checkpoint cell: ``{"index", "outcome",
+    "result"}`` with ``outcome`` in ``RunOutcome.to_dict`` form and
+    ``result`` in :func:`run_result_to_dict` form (or None on
+    failure).  Runs in a worker process, so it must stay importable at
+    module top level.
+    """
+    deadline = (
+        None if task.budget_s is None else time.monotonic() + task.budget_s
+    )
+    last_error: Optional[ReproError] = None
+    attempts = 0
+    for attempt in range(task.max_retries + 1):
+        if attempt and deadline is not None and time.monotonic() >= deadline:
+            break
+        attempts += 1
+        try:
+            result = run_benchmark(
+                reseed_config(task.config, attempt * task.reseed_step),
+                task.benchmark,
+                n_references=task.n_references,
+                trace=_attempt_trace(task, attempt),
+                warmup_fraction=task.warmup_fraction,
+                seed=task.seed + attempt * task.reseed_step,
+                energy_model=task.energy_model,
+                warm_set_conflict=task.warm_set_conflict,
+                prewarm=task.prewarm,
+            )
+            return {
+                "index": task.index,
+                "outcome": {
+                    "status": "ok",
+                    "attempts": attempts,
+                    "error": None,
+                    "error_type": None,
+                },
+                "result": run_result_to_dict(result),
+            }
+        except ReproError as exc:
+            if not task.isolate_errors:
+                raise
+            last_error = exc
+    if attempts == 0:
+        message, error_type = "point budget exhausted before attempt", "Budget"
+    else:
+        assert last_error is not None
+        message, error_type = str(last_error), type(last_error).__name__
+    return {
+        "index": task.index,
+        "outcome": {
+            "status": "failed",
+            "attempts": attempts,
+            "error": message,
+            "error_type": error_type,
+        },
+        "result": None,
+    }
+
+
+def run_cells(
+    tasks: Sequence[CellTask],
+    jobs: int,
+    callback: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> List[Dict[str, object]]:
+    """Execute cells on ``jobs`` workers; payloads in submission order.
+
+    ``callback`` fires in the parent as each cell completes (in
+    completion order) — the sweep uses it for interval checkpoint
+    flushes.  With ``jobs=1`` the cells run in-process with no pool, so
+    the degenerate case has zero multiprocessing overhead and identical
+    behavior.  A worker exception that is not an isolated
+    :class:`ReproError` cancels the not-yet-started cells and re-raises
+    here.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    payloads: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+    if jobs == 1 or len(tasks) == 1:
+        for position, task in enumerate(tasks):
+            payload = execute_cell(task)
+            payloads[position] = payload
+            if callback is not None:
+                callback(payload)
+        return payloads  # type: ignore[return-value]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        positions = {}
+        for position, task in enumerate(tasks):
+            future = pool.submit(execute_cell, task)
+            positions[future] = position
+        try:
+            for future in as_completed(positions):
+                payload = future.result()
+                payloads[positions[future]] = payload
+                if callback is not None:
+                    callback(payload)
+        except BaseException:
+            for future in positions:
+                future.cancel()
+            raise
+    return payloads  # type: ignore[return-value]

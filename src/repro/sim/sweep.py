@@ -20,20 +20,34 @@ hardens the grid instead of letting one point abort it:
 * **budget** — an optional wall-clock allowance per point; once spent,
   remaining attempts and benchmarks of that point are recorded as
   failed instead of started.
-* **checkpointing** — with ``checkpoint_path`` set, every completed
-  cell is appended to an atomic JSON checkpoint; re-invoking ``run()``
+* **checkpointing** — with ``checkpoint_path`` set, completed cells
+  are persisted to an atomic JSON checkpoint; re-invoking ``run()``
   after a crash (or kill) replays completed cells from the file and
   re-runs only the incomplete ones, with seeds untouched, so the
-  resumed grid is identical to an uninterrupted run.
+  resumed grid is identical to an uninterrupted run.  Flushes are
+  batched (default: once per point) to avoid O(cells²) rewrite I/O on
+  big grids; any Python-level exception — including Ctrl-C — still
+  flushes every completed cell on the way out, so only a hard
+  ``kill -9`` can lose up to one flush interval of finished work.
+* **parallelism** — ``jobs=N`` runs cells on N worker processes via
+  :mod:`repro.sim.parallel`, sharing each benchmark's base trace
+  through an on-disk :class:`~repro.workloads.tracegen.TraceCache`.
+  Cells are seeded identically to the serial path, so ``jobs=1`` and
+  ``jobs=N`` produce bit-identical results and interchangeable
+  checkpoints (a serial run can resume a parallel one and vice
+  versa).  The per-point wall-clock budget degrades to a per-cell
+  budget under parallelism, since a point's cells no longer run
+  back-to-back on one core.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import itertools
 import json
 import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -41,10 +55,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.common.errors import ConfigurationError, ReproError
 from repro.sim.config import SystemConfig
 from repro.sim.driver import run_benchmark
+from repro.sim.parallel import CellTask, reseed_config, run_cells
 from repro.sim.results import RunResult, run_result_from_dict, run_result_to_dict
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
-from repro.workloads.tracegen import generate_trace
+from repro.workloads.tracegen import TraceCache, default_trace_cache_dir, generate_trace
 
 CHECKPOINT_FORMAT = 1
 
@@ -133,17 +148,9 @@ class SweepPoint:
         return sum(self.runs[b].ipc / base.runs[b].ipc for b in shared) / len(shared)
 
 
-def _reseed_config(config: SystemConfig, bump: int) -> SystemConfig:
-    """A copy of ``config`` with fault-plan seed shifted by ``bump``.
-
-    Retries must not replay the exact upset schedule that killed the
-    previous attempt; the injector's RNG seed lives in the (frozen)
-    plan, so the reseeded attempt gets a replaced plan.
-    """
-    if bump == 0 or config.faults is None:
-        return config
-    plan = dataclasses.replace(config.faults, seed=config.faults.seed + bump)
-    return dataclasses.replace(config, faults=plan)
+# Re-exported for callers that used the private name before the logic
+# moved to repro.sim.parallel (workers need it importable there).
+_reseed_config = reseed_config
 
 
 class Sweep:
@@ -154,7 +161,12 @@ class Sweep:
     attempt ``k`` bumps the trace and fault seeds by
     ``k * reseed_step``.  ``point_budget_s`` caps wall-clock per point.
     ``checkpoint_path`` enables crash-tolerant resume (see module
-    docstring).
+    docstring).  ``jobs`` runs cells on that many worker processes;
+    ``trace_cache_dir`` names the on-disk trace store parallel workers
+    load from (default: ``$REPRO_TRACE_CACHE``, else a private temp
+    directory deleted after the run).  ``checkpoint_every`` flushes the
+    checkpoint after that many newly completed cells (default: one
+    flush per point).
     """
 
     def __init__(
@@ -169,6 +181,9 @@ class Sweep:
         reseed_step: int = 1000,
         point_budget_s: Optional[float] = None,
         checkpoint_path: Optional[str] = None,
+        jobs: int = 1,
+        trace_cache_dir: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
     ) -> None:
         if not axes:
             raise ConfigurationError("sweep needs at least one axis")
@@ -193,6 +208,12 @@ class Sweep:
             raise ConfigurationError(f"reseed_step must be positive, got {reseed_step}")
         if point_budget_s is not None and point_budget_s <= 0:
             raise ConfigurationError("point_budget_s must be positive")
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.n_references = n_references
         self.seed = seed
         self.warmup_fraction = warmup_fraction
@@ -200,6 +221,9 @@ class Sweep:
         self.reseed_step = reseed_step
         self.point_budget_s = point_budget_s
         self.checkpoint_path = checkpoint_path
+        self.jobs = jobs
+        self.trace_cache_dir = trace_cache_dir
+        self.checkpoint_every = checkpoint_every
         self._traces: Dict[str, Trace] = {}
 
     def _trace(self, benchmark: str, attempt: int = 0) -> Trace:
@@ -295,6 +319,12 @@ class Sweep:
 
     # --- the run loop ---
 
+    def _flush_every(self) -> int:
+        """Cells between checkpoint flushes (default: one point's worth)."""
+        if self.checkpoint_every is not None:
+            return self.checkpoint_every
+        return len(self.benchmarks)
+
     def _run_cell(
         self, point: SweepPoint, benchmark: str, deadline: Optional[float]
     ) -> Tuple[Optional[RunResult], RunOutcome]:
@@ -331,55 +361,168 @@ class Sweep:
             status="failed", attempts=attempts, error=message, error_type=error_type
         )
 
-    def run(self, resume: bool = True) -> List[SweepPoint]:
+    def run(
+        self, resume: bool = True, jobs: Optional[int] = None
+    ) -> List[SweepPoint]:
         """Run every point over every benchmark; returns filled points.
 
         With ``checkpoint_path`` set and ``resume`` true, completed
         cells found in the checkpoint are restored instead of re-run.
         Failed cells are recorded (not raised); inspect
-        ``point.outcomes`` / ``point.failed_benchmarks()``.
+        ``point.outcomes`` / ``point.failed_benchmarks()``.  ``jobs``
+        overrides the constructor's worker count for this invocation;
+        results are bit-identical for any worker count.
         """
+        jobs = self.jobs if jobs is None else jobs
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         points = self.points()
         signature = self.signature()
         cells = self._load_checkpoint(signature) if resume else {}
-        for point in points:
+        pending: List[Tuple[int, str]] = []
+        for index, point in enumerate(points):
             saved = cells.setdefault(point.key, {})
-            deadline: Optional[float] = None
             for benchmark in self.benchmarks:
                 cached = saved.get(benchmark)
-                if cached is not None:
-                    point.outcomes[benchmark] = RunOutcome.from_dict(
-                        cached["outcome"]
-                    )
-                    if cached.get("result") is not None:
-                        point.runs[benchmark] = run_result_from_dict(
-                            cached["result"]
-                        )
+                if cached is None:
+                    pending.append((index, benchmark))
                     continue
-                if deadline is None and self.point_budget_s is not None:
+                point.outcomes[benchmark] = RunOutcome.from_dict(
+                    cached["outcome"]
+                )
+                if cached.get("result") is not None:
+                    point.runs[benchmark] = run_result_from_dict(
+                        cached["result"]
+                    )
+        if not pending:
+            return points
+        if jobs == 1:
+            self._run_serial(points, signature, cells, pending)
+        else:
+            self._run_parallel(points, signature, cells, pending, jobs)
+        return points
+
+    def _record_cell(
+        self,
+        points: List[SweepPoint],
+        cells: Dict[str, Dict[str, dict]],
+        index: int,
+        benchmark: str,
+        result: Optional[RunResult],
+        outcome: RunOutcome,
+    ) -> None:
+        point = points[index]
+        point.outcomes[benchmark] = outcome
+        if result is not None:
+            point.runs[benchmark] = result
+        cells[point.key][benchmark] = {
+            "outcome": outcome.to_dict(),
+            "result": None if result is None else run_result_to_dict(result),
+        }
+
+    def _run_serial(
+        self,
+        points: List[SweepPoint],
+        signature: str,
+        cells: Dict[str, Dict[str, dict]],
+        pending: List[Tuple[int, str]],
+    ) -> None:
+        flush_every = self._flush_every()
+        dirty = 0
+        deadline: Optional[float] = None
+        current: Optional[int] = None
+        try:
+            for index, benchmark in pending:
+                if index != current:
+                    current = index
                     # The budget clock starts at the point's first
                     # non-cached cell, so resumed points get a full
                     # allowance for their remaining work.
-                    deadline = time.monotonic() + self.point_budget_s
+                    deadline = (
+                        time.monotonic() + self.point_budget_s
+                        if self.point_budget_s is not None
+                        else None
+                    )
                 if deadline is not None and time.monotonic() >= deadline:
+                    result: Optional[RunResult] = None
                     outcome = RunOutcome(
                         status="failed",
                         attempts=0,
                         error="point budget exhausted",
                         error_type="Budget",
                     )
-                    result = None
                 else:
-                    result, outcome = self._run_cell(point, benchmark, deadline)
-                point.outcomes[benchmark] = outcome
-                if result is not None:
-                    point.runs[benchmark] = result
-                saved[benchmark] = {
-                    "outcome": outcome.to_dict(),
-                    "result": None if result is None else run_result_to_dict(result),
-                }
+                    result, outcome = self._run_cell(
+                        points[index], benchmark, deadline
+                    )
+                self._record_cell(points, cells, index, benchmark, result, outcome)
+                dirty += 1
+                if dirty >= flush_every:
+                    self._save_checkpoint(signature, cells)
+                    dirty = 0
+        finally:
+            # Ctrl-C / propagated simulator bugs still persist every
+            # completed cell, keeping crash-resume exact.
+            if dirty:
                 self._save_checkpoint(signature, cells)
-        return points
+
+    def _run_parallel(
+        self,
+        points: List[SweepPoint],
+        signature: str,
+        cells: Dict[str, Dict[str, dict]],
+        pending: List[Tuple[int, str]],
+        jobs: int,
+    ) -> None:
+        cache_dir = self.trace_cache_dir or default_trace_cache_dir()
+        scratch: Optional[str] = None
+        if cache_dir is None:
+            scratch = tempfile.mkdtemp(prefix="repro-trace-cache-")
+            cache_dir = scratch
+        cache = TraceCache(cache_dir)
+        # Each benchmark's shared base trace is generated (or found)
+        # once in the parent; workers mmap-load the .npz instead of
+        # regenerating per cell.
+        paths = {
+            benchmark: cache.ensure(benchmark, self.n_references, seed=self.seed)
+            for benchmark in sorted({b for _, b in pending})
+        }
+        tasks = [
+            CellTask(
+                index=position,
+                config=points[index].config,
+                benchmark=benchmark,
+                n_references=self.n_references,
+                seed=self.seed,
+                warmup_fraction=self.warmup_fraction,
+                trace_path=paths[benchmark],
+                max_retries=self.max_retries,
+                reseed_step=self.reseed_step,
+                budget_s=self.point_budget_s,
+            )
+            for position, (index, benchmark) in enumerate(pending)
+        ]
+        flush_every = self._flush_every()
+        state = {"dirty": 0}
+
+        def record(payload: Dict[str, object]) -> None:
+            index, benchmark = pending[payload["index"]]  # type: ignore[index]
+            outcome = RunOutcome.from_dict(payload["outcome"])  # type: ignore[arg-type]
+            raw = payload.get("result")
+            result = None if raw is None else run_result_from_dict(raw)  # type: ignore[arg-type]
+            self._record_cell(points, cells, index, benchmark, result, outcome)
+            state["dirty"] += 1
+            if state["dirty"] >= flush_every:
+                self._save_checkpoint(signature, cells)
+                state["dirty"] = 0
+
+        try:
+            run_cells(tasks, jobs, callback=record)
+        finally:
+            if state["dirty"]:
+                self._save_checkpoint(signature, cells)
+            if scratch is not None:
+                shutil.rmtree(scratch, ignore_errors=True)
 
 
 def tabulate(points: Sequence[SweepPoint], metric: Callable[[SweepPoint], float]) -> str:

@@ -28,13 +28,20 @@ from repro.workloads.spec2k import (
     suite_names,
 )
 from repro.workloads.trace import Trace
-from repro.workloads.tracegen import TraceGenerator, generate_trace
+from repro.workloads.tracegen import (
+    TraceCache,
+    TraceGenerator,
+    default_trace_cache_dir,
+    generate_trace,
+)
 
 __all__ = [
     "BenchmarkProfile",
     "SPEC2K_SUITE",
     "Trace",
+    "TraceCache",
     "TraceGenerator",
+    "default_trace_cache_dir",
     "generate_trace",
     "get_benchmark",
     "high_load_names",

@@ -21,13 +21,16 @@ to create the hot sets §2.1 argues coupled placement handles badly.
 
 from __future__ import annotations
 
+import os
+import zipfile
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ReproError
 from repro.common.rng import derive_seed
-from repro.workloads.spec2k import BenchmarkProfile
+from repro.workloads.spec2k import BenchmarkProfile, get_benchmark
 from repro.workloads.trace import Trace
 
 #: Region base addresses, far enough apart never to alias.
@@ -232,3 +235,160 @@ def generate_trace(
     return TraceGenerator(
         profile=profile, seed=seed, warm_set_conflict=warm_set_conflict
     ).generate(n_references)
+
+
+#: Errors a half-written or corrupted ``.npz`` can surface as when
+#: loaded; anything else (e.g. a directory permission problem that
+#: would also break the rewrite) still propagates.
+_CACHE_LOAD_ERRORS = (
+    ReproError,
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    zipfile.BadZipFile,
+)
+
+
+def default_trace_cache_dir() -> Optional[str]:
+    """The ambient cache directory: ``REPRO_TRACE_CACHE``, or None."""
+    return os.environ.get("REPRO_TRACE_CACHE") or None
+
+
+class TraceCache:
+    """On-disk ``.npz`` trace store keyed by generation parameters.
+
+    A trace is fully determined by ``(benchmark, n_references, seed,
+    warm_set_conflict)``, so those four values are the file name and
+    the cache needs no invalidation logic.  Writes are atomic (unique
+    temp file + ``os.replace``), which makes the directory safe to
+    share between concurrent sweep processes: the worst race is two
+    processes generating the same trace and one rename winning.
+
+    A corrupted or stale file (killed mid-write before PRs used atomic
+    renames, disk damage, a benchmark profile edit that changed the
+    record count) is detected on load and silently regenerated in
+    place; ``hits`` / ``misses`` count how often the disk copy was
+    usable.
+    """
+
+    def __init__(self, directory: str) -> None:
+        if not directory:
+            raise ConfigurationError("trace cache needs a directory")
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(
+        self,
+        benchmark: str,
+        n_references: int,
+        seed: int = 0,
+        warm_set_conflict: int = 1,
+    ) -> str:
+        return os.path.join(
+            self.directory,
+            f"{benchmark}-r{n_references}-s{seed}-c{warm_set_conflict}.npz",
+        )
+
+    def _load_valid(
+        self, path: str, benchmark: str, n_references: int
+    ) -> Optional[Trace]:
+        if not os.path.exists(path):
+            return None
+        try:
+            trace = Trace.load(path)
+        except _CACHE_LOAD_ERRORS:
+            return None
+        if trace.benchmark != benchmark or len(trace) != n_references:
+            return None  # stale: key scheme and content disagree
+        return trace
+
+    def fetch(
+        self,
+        benchmark: str,
+        n_references: int,
+        seed: int = 0,
+        warm_set_conflict: int = 1,
+    ) -> Tuple[Trace, str]:
+        """The trace and its on-disk path, generating at most once."""
+        if n_references <= 0:
+            raise ConfigurationError("n_references must be positive")
+        path = self.path_for(benchmark, n_references, seed, warm_set_conflict)
+        trace = self._load_valid(path, benchmark, n_references)
+        if trace is not None:
+            self.hits += 1
+            return trace, path
+        trace = generate_trace(
+            get_benchmark(benchmark),
+            n_references,
+            seed=seed,
+            warm_set_conflict=warm_set_conflict,
+        )
+        os.makedirs(self.directory, exist_ok=True)
+        # np.savez appends ".npz" to suffix-less paths, so the temp
+        # name must already carry it for the rename to find the file.
+        tmp = f"{path}.{os.getpid()}.tmp.npz"
+        try:
+            trace.save(tmp)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        self.misses += 1
+        return trace, path
+
+    def get(
+        self,
+        benchmark: str,
+        n_references: int,
+        seed: int = 0,
+        warm_set_conflict: int = 1,
+    ) -> Trace:
+        return self.fetch(benchmark, n_references, seed, warm_set_conflict)[0]
+
+    def ensure(
+        self,
+        benchmark: str,
+        n_references: int,
+        seed: int = 0,
+        warm_set_conflict: int = 1,
+    ) -> str:
+        """Guarantee the trace exists on disk; return its path."""
+        return self.fetch(benchmark, n_references, seed, warm_set_conflict)[1]
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-touched traces past a size budget.
+
+        Returns the number of files removed.  Traces are evicted
+        oldest-``mtime`` first until the directory fits ``max_bytes``;
+        loading a trace does not bump its mtime, so this is a cheap
+        FIFO-by-write policy rather than strict LRU.
+        """
+        if max_bytes < 0:
+            raise ConfigurationError("max_bytes must be non-negative")
+        if not os.path.isdir(self.directory):
+            return 0
+        entries = []
+        for name in os.listdir(self.directory):
+            if not name.endswith(".npz"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed

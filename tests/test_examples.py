@@ -73,6 +73,25 @@ def test_design_space(monkeypatch, capsys):
     assert "d-groups" in out
 
 
+def test_parallel_sweep(monkeypatch, capsys, tmp_path):
+    import tempfile
+
+    monkeypatch.setattr(tempfile, "gettempdir", lambda: str(tmp_path))
+    out = run_example(
+        monkeypatch, capsys, "examples/parallel_sweep.py",
+        ["parallel_sweep.py", "2", "6000"],
+    )
+    assert "bit-identical: True" in out
+
+    # Second invocation finds the checkpoint and restores every cell.
+    out = run_example(
+        monkeypatch, capsys, "examples/parallel_sweep.py",
+        ["parallel_sweep.py", "2", "6000"],
+    )
+    assert "resumed from checkpoint" in out
+    assert "bit-identical: True" in out
+
+
 @pytest.mark.slow
 def test_custom_workload(monkeypatch, capsys):
     from repro.workloads.spec2k import SPEC2K_SUITE
