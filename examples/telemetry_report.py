@@ -1,0 +1,67 @@
+"""End-to-end telemetry walkthrough: per-d-group access and energy.
+
+Runs one workload on the NuRAPID system with telemetry enabled, writes
+the JSONL event trace, renders the merged per-d-group report (the same
+rendering ``python -m repro.telemetry report`` produces), and shows
+that a two-worker run of the same cells aggregates to the identical
+report — the property that makes per-worker collection trustworthy.
+
+Run:  python examples/telemetry_report.py [n_references]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.sim.config import nurapid_config
+from repro.sim.driver import run_benchmark, run_suite
+from repro.telemetry import TelemetryConfig, read_trace, trace_summary
+from repro.telemetry.report import merge_payloads, render_report
+
+
+def main() -> int:
+    refs = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    config = nurapid_config()
+    workdir = tempfile.mkdtemp(prefix="repro-telemetry-")
+
+    # --- one instrumented run, with an event trace on disk ---
+    telemetry = TelemetryConfig(trace_dir=workdir, trace_sample=4, trace_limit=5000)
+    result = run_benchmark(
+        config, "art", n_references=refs, seed=1, telemetry=telemetry
+    )
+    assert result.telemetry is not None
+    trace_path = result.telemetry["trace"]["path"]
+    events = read_trace(trace_path)
+    print(f"trace: {os.path.basename(trace_path)}")
+    for kind, count in trace_summary(events).items():
+        print(f"  {kind:<12} {count}")
+    print()
+
+    # --- the per-d-group report for that run ---
+    print(render_report(merge_payloads([("art", result.telemetry)])))
+
+    # --- serial == parallel: merged reports are byte-identical ---
+    benchmarks = ["art", "twolf"]
+    histograms_only = TelemetryConfig()
+    suites = {
+        jobs: run_suite(
+            config, benchmarks, n_references=refs, seed=1,
+            jobs=jobs, telemetry=histograms_only,
+        )
+        for jobs in (1, 2)
+    }
+    reports = {
+        jobs: render_report(
+            merge_payloads(
+                [(name, run.telemetry) for name, run in sorted(suite.runs.items())]
+            )
+        )
+        for jobs, suite in suites.items()
+    }
+    identical = reports[1] == reports[2]
+    print(f"serial report == jobs=2 report: {identical}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.sim.config import SystemConfig, nurapid_config, snuca_config
 from repro.sim.driver import run_benchmark
 from repro.sim.parallel import CellTask, run_cells
 from repro.sim.results import run_result_to_dict
+from repro.telemetry import TelemetryConfig
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceCache, default_trace_cache_dir
 
@@ -54,6 +55,7 @@ def _time_serial(
     refs: int,
     seed: int,
     warmup: float,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> Dict[str, object]:
     per_cell = {}
     started = time.perf_counter()
@@ -68,6 +70,7 @@ def _time_serial(
                 trace=traces[benchmark],
                 warmup_fraction=warmup,
                 seed=seed,
+                telemetry=telemetry,
             )
             per_cell[f"{config.name}/{benchmark}"] = round(
                 time.perf_counter() - cell_start, 3
@@ -113,6 +116,23 @@ def _time_parallel(
     return {"total_s": round(total, 3), "results": results}
 
 
+def _strip_telemetry(results: Dict[object, dict]) -> Dict[object, dict]:
+    """Result payloads without their telemetry section (for comparison)."""
+    return {
+        key: {k: v for k, v in payload.items() if k != "telemetry"}
+        for key, payload in results.items()
+    }
+
+
+def comparable_entry(ledger: Dict[str, object], entry: Dict[str, object]):
+    """The most recent ledger entry timing the same workload, if any."""
+    keys = ("refs", "warmup_fraction", "seed", "benchmarks", "configs")
+    for candidate in reversed(ledger.get("entries", [])):  # type: ignore[arg-type]
+        if all(candidate.get(k) == entry[k] for k in keys):
+            return candidate
+    return None
+
+
 def load_ledger(path: str) -> Dict[str, object]:
     if not os.path.exists(path):
         return {"format": LEDGER_FORMAT, "entries": []}
@@ -144,6 +164,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--label", default=None, help="free-form tag recorded with the entry"
     )
+    parser.add_argument(
+        "--telemetry-overhead",
+        action="store_true",
+        help="also time a serial pass with telemetry enabled, verify the "
+        "simulated results are unchanged, and record the overhead ratio",
+    )
+    parser.add_argument(
+        "--against",
+        default=None,
+        metavar="LEDGER",
+        help="compare serial time to the most recent comparable entry of "
+        "this ledger and fail on regression beyond --max-regression",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.05,
+        help="allowed fractional serial-time regression for --against "
+        "(default 0.05 = 5%%)",
+    )
     args = parser.parse_args(argv)
     jobs = args.jobs or min(4, os.cpu_count() or 1)
 
@@ -171,6 +211,17 @@ def main(argv=None) -> int:
         parallel = _time_parallel(
             configs, benchmarks, trace_paths, args.refs, args.seed, args.warmup, jobs
         )
+        instrumented: Optional[Dict[str, object]] = None
+        if args.telemetry_overhead:
+            instrumented = _time_serial(
+                configs,
+                benchmarks,
+                traces,
+                args.refs,
+                args.seed,
+                args.warmup,
+                telemetry=TelemetryConfig(),
+            )
     finally:
         if scratch is not None:
             shutil.rmtree(scratch, ignore_errors=True)
@@ -200,6 +251,37 @@ def main(argv=None) -> int:
         "speedup": round(speedup, 3),
         "identical": identical,
     }
+    telemetry_identical = True
+    if instrumented is not None:
+        telemetry_identical = serial["results"] == _strip_telemetry(
+            instrumented["results"]  # type: ignore[arg-type]
+        )
+        overhead = (
+            instrumented["total_s"] / serial["total_s"] - 1.0
+            if serial["total_s"]
+            else 0.0
+        )
+        entry["telemetry_serial_s"] = instrumented["total_s"]
+        entry["telemetry_overhead"] = round(overhead, 3)
+        entry["telemetry_identical"] = telemetry_identical
+
+    regression_failure: Optional[str] = None
+    if args.against is not None:
+        base = comparable_entry(load_ledger(args.against), entry)
+        if base is None:
+            regression_failure = (
+                f"no comparable entry in {args.against} to regress against"
+            )
+        else:
+            baseline_s = float(base["serial_s"])
+            allowed = baseline_s * (1.0 + args.max_regression)
+            entry["against_serial_s"] = baseline_s
+            if entry["serial_s"] > allowed:
+                regression_failure = (
+                    f"serial {entry['serial_s']}s exceeds baseline "
+                    f"{baseline_s}s by more than "
+                    f"{args.max_regression:.0%} (allowed {allowed:.3f}s)"
+                )
 
     ledger = load_ledger(args.out)
     ledger["format"] = LEDGER_FORMAT
@@ -215,9 +297,21 @@ def main(argv=None) -> int:
         f"parallel(jobs={jobs}) {parallel['total_s']}s | "
         f"speedup {speedup:.2f}x | identical={identical}"
     )
+    if instrumented is not None:
+        print(
+            f"telemetry serial {instrumented['total_s']}s | "
+            f"overhead {entry['telemetry_overhead']:+.1%} | "
+            f"results unchanged={telemetry_identical}"
+        )
     print(f"appended entry #{len(ledger['entries'])} to {args.out}")
     if not identical:
         print("ERROR: parallel results diverge from serial — engine bug")
+        return 1
+    if not telemetry_identical:
+        print("ERROR: telemetry changed simulated results — instrumentation bug")
+        return 1
+    if regression_failure is not None:
+        print(f"ERROR: {regression_failure}")
         return 1
     return 0
 

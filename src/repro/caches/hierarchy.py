@@ -16,9 +16,12 @@ up, and routes L1 dirty evictions into the first lower level.
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.common.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Histogram
 from repro.common.stats import Counter
 from repro.common.types import Access, AccessResult, AccessType
 from repro.caches.memory import MainMemory
@@ -73,6 +76,8 @@ class CacheHierarchy:
         self.lower: List[LowerLevel] = list(lower)
         self.memory = memory
         self.stats = Counter()
+        #: Optional telemetry histogram of end-to-end L1-miss latency.
+        self.miss_latency_hist: Optional["Histogram"] = None
 
     def access(self, access: Access, now: float = 0.0) -> AccessResult:
         """Present one core reference; returns the end-to-end result.
@@ -132,6 +137,8 @@ class CacheHierarchy:
         victim = l1.fill(address, dirty=is_write)
         if victim is not None and victim.dirty:
             self._writeback_from_l1(victim.block_addr, fill_time)
+        if self.miss_latency_hist is not None:
+            self.miss_latency_hist.record(total.latency)
         return total
 
     def _writeback_from_l1(self, block_addr: int, now: float) -> None:

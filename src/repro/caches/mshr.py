@@ -14,9 +14,12 @@ for the earliest outstanding fill).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.common.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Histogram
 
 
 @dataclass
@@ -40,6 +43,9 @@ class MSHRFile:
         self.primary_misses = 0
         self.merged_misses = 0
         self.full_stalls = 0
+        #: Optional telemetry occupancy histogram; each allocation
+        #: records the file's post-allocation occupancy.
+        self.occupancy_hist: Optional["Histogram"] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -88,6 +94,8 @@ class MSHRFile:
         entry = MSHREntry(block_addr=block_addr, issued_at=now, fill_at=fill_at)
         self._entries[block_addr] = entry
         self.primary_misses += 1
+        if self.occupancy_hist is not None:
+            self.occupancy_hist.record(len(self._entries))
         return entry
 
     def note_full_stall(self) -> None:

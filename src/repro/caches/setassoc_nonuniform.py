@@ -19,9 +19,12 @@ promotion by swapping with the LRU way of the adjacent faster group.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import CacheTelemetry
 from repro.common.stats import Counter, Distribution
 from repro.common.types import AccessResult
 from repro.caches.block import block_address, set_index
@@ -97,6 +100,8 @@ class SetAssociativePlacementCache:
 
         self.stats = Counter()
         self.dgroup_hits = Distribution()
+        #: Optional telemetry client (None is the null sink).
+        self.telemetry: Optional["CacheTelemetry"] = None
 
     # --- way/d-group mapping (the coupling under study) ---
 
@@ -139,6 +144,10 @@ class SetAssociativePlacementCache:
             # Sequential tag-data access: the pipelined tag probe alone
             # determines the miss.
             self.stats.add("misses")
+            if self.telemetry is not None:
+                self.telemetry.on_access(
+                    baddr, False, None, float(self.geometry.miss_latency())
+                )
             return AccessResult(
                 hit=False,
                 latency=float(self.geometry.miss_latency()),
@@ -161,6 +170,9 @@ class SetAssociativePlacementCache:
             now + self.geometry.tag_cycles, self.geometry.data_occupancy(group)
         )
         latency = (start - now) + self.geometry.dgroups[group].data_cycles
+
+        if self.telemetry is not None:
+            self.telemetry.on_access(baddr, True, group, latency)
 
         if group > 0 and self.promote:
             self._promote(index, way, group, now + latency)
@@ -190,11 +202,27 @@ class SetAssociativePlacementCache:
         if peer is None:
             raise SimulationError("d-group has no ways in this set")
         self.stats.add("promotions")
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "promotion",
+                addr=self._sets[index][way].block_addr,
+                src=group,
+                dst=target,
+                cycle=now,
+            )
         self._swap_ways(index, way, peer)
         self._charge_move(group, target, now)
         if self._sets[index][way].block_addr is not None:
             # A real two-way swap (the peer way was occupied).
             self.stats.add("demotions")
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "demotion",
+                    addr=self._sets[index][way].block_addr,
+                    src=target,
+                    dst=group,
+                    cycle=now,
+                )
             self._charge_move(target, group, now)
 
     def _swap_ways(self, index: int, a: int, b: int) -> None:
@@ -233,12 +261,23 @@ class SetAssociativePlacementCache:
             assert slot.block_addr is not None
             del self._where[index][slot.block_addr]
             self.stats.add("evictions")
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "eviction",
+                    addr=slot.block_addr,
+                    dgroup=self.dgroup_of_way(victim_way),
+                    cycle=now,
+                )
             if slot.dirty:
                 writebacks = 1
                 self.stats.add("writebacks")
                 group = self.dgroup_of_way(victim_way)
                 self.energy.charge(f"{self.name}.dg{group}.read")
                 self.stats.add("dgroup_accesses")
+                if self.telemetry is not None:
+                    self.telemetry.event(
+                        "writeback", addr=slot.block_addr, dgroup=group, cycle=now
+                    )
             slot.block_addr = None
             slot.dirty = False
             slot.last_touch = 0
@@ -262,6 +301,10 @@ class SetAssociativePlacementCache:
             self._where[index][carry_addr] = way
             if group > 0:
                 self.stats.add("demotions")
+                if self.telemetry is not None:
+                    self.telemetry.event(
+                        "demotion", addr=carry_addr, src=group - 1, dst=group, cycle=now
+                    )
                 self._charge_move(group - 1, group, now, occupy=False)
             if displaced[0] is None:
                 break
@@ -272,6 +315,8 @@ class SetAssociativePlacementCache:
 
         self.energy.charge(f"{self.name}.dg0.write")
         self.stats.add("dgroup_accesses")
+        if self.telemetry is not None:
+            self.telemetry.event("placement", addr=baddr, dgroup=0, cycle=now)
         return writebacks
 
     # --- prewarm ---

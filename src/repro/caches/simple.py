@@ -21,6 +21,7 @@ from repro.tech.energy import EnergyBook
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
     from repro.faults.models import FaultPlan
+    from repro.telemetry import CacheTelemetry
 
 
 class SetAssociativeCache:
@@ -49,6 +50,8 @@ class SetAssociativeCache:
         #: None keeps the hooks dead code: the no-fault path is
         #: bit-identical to the pre-fault simulator.
         self.fault_injector: Optional["FaultInjector"] = None
+        #: Optional telemetry client (None is the null sink).
+        self.telemetry: Optional["CacheTelemetry"] = None
 
     # --- fault injection (opt-in) ---
 
@@ -109,6 +112,10 @@ class SetAssociativeCache:
                     del resident[baddr]
                     self.fault_refetches += 1
                     self.misses += 1
+                    if self.telemetry is not None:
+                        self.telemetry.on_access(
+                            baddr, False, None, float(self.spec.latency_cycles)
+                        )
                     return AccessResult(
                         hit=False,
                         latency=self.spec.latency_cycles,
@@ -119,6 +126,10 @@ class SetAssociativeCache:
             self._lru[index].touch(baddr)
             if is_write:
                 resident[baddr].dirty = True
+            if self.telemetry is not None:
+                self.telemetry.on_access(
+                    baddr, True, None, float(self.spec.latency_cycles)
+                )
             return AccessResult(
                 hit=True,
                 latency=self.spec.latency_cycles,
@@ -128,6 +139,10 @@ class SetAssociativeCache:
         if self.fault_injector is not None:
             self.fault_injector.on_access(False, False, address)
         self.misses += 1
+        if self.telemetry is not None:
+            self.telemetry.on_access(
+                baddr, False, None, float(self.spec.latency_cycles)
+            )
         return AccessResult(
             hit=False,
             latency=self.spec.latency_cycles,
@@ -156,10 +171,16 @@ class SetAssociativeCache:
         if len(resident) >= self.spec.associativity:
             victim_addr = self._lru[index].pop_victim()
             victim_block = resident.pop(victim_addr)
+            if self.telemetry is not None:
+                self.telemetry.event("eviction", addr=victim_addr)
             if victim_block.dirty:
                 self.writebacks += 1
+                if self.telemetry is not None:
+                    self.telemetry.event("writeback", addr=victim_addr)
         resident[baddr] = CacheBlock(block_addr=baddr, dirty=dirty)
         self._lru[index].insert(baddr)
+        if self.telemetry is not None:
+            self.telemetry.event("placement", addr=baddr)
         return victim_block
 
     def invalidate(self, address: int) -> Optional[CacheBlock]:

@@ -13,18 +13,25 @@ from typing import Dict, Iterable, Mapping, Tuple
 
 
 class Counter:
-    """A named group of monotonically increasing counters."""
+    """A named group of monotonically increasing counters.
+
+    Totals stay int-exact as long as every increment is an int: the
+    sum of integer event counts never drifts through float rounding,
+    and ``merge()`` over any partition of the increments reproduces the
+    serial total bit for bit.  A single float increment (weights,
+    energies) switches that counter to float arithmetic.
+    """
 
     def __init__(self) -> None:
         self._counts: Dict[str, float] = {}
 
-    def add(self, name: str, amount: float = 1.0) -> None:
+    def add(self, name: str, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter increments must be non-negative, got {amount}")
-        self._counts[name] = self._counts.get(name, 0.0) + amount
+        self._counts[name] = self._counts.get(name, 0) + amount
 
     def get(self, name: str) -> float:
-        return self._counts.get(name, 0.0)
+        return self._counts.get(name, 0)
 
     def names(self) -> Iterable[str]:
         return self._counts.keys()
@@ -34,7 +41,19 @@ class Counter:
 
     def merge(self, other: "Counter") -> None:
         for name, value in other._counts.items():
-            self._counts[name] = self._counts.get(name, 0.0) + value
+            self._counts[name] = self._counts.get(name, 0) + value
+
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time copy, for later :meth:`diff`."""
+        return dict(self._counts)
+
+    def diff(self, since: Mapping[str, float]) -> Dict[str, float]:
+        """Per-name growth since a :meth:`snapshot` (zero deltas omitted)."""
+        return {
+            name: value - since.get(name, 0)
+            for name, value in self._counts.items()
+            if value != since.get(name, 0)
+        }
 
     def reset(self) -> None:
         self._counts.clear()
@@ -73,12 +92,16 @@ class RatioStat:
 
 @dataclass
 class Distribution:
-    """Counts keyed by small integers (e.g. accesses per d-group)."""
+    """Counts keyed by small integers (e.g. accesses per d-group).
+
+    Like :class:`Counter`, integer increments keep int-exact totals so
+    merged per-worker distributions equal the serial run exactly.
+    """
 
     counts: Dict[int, float] = field(default_factory=dict)
 
-    def add(self, key: int, amount: float = 1.0) -> None:
-        self.counts[key] = self.counts.get(key, 0.0) + amount
+    def add(self, key: int, amount: float = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + amount
 
     @property
     def total(self) -> float:
@@ -101,7 +124,19 @@ class Distribution:
 
     def merge(self, other: "Distribution") -> None:
         for key, value in other.counts.items():
-            self.counts[key] = self.counts.get(key, 0.0) + value
+            self.counts[key] = self.counts.get(key, 0) + value
+
+    def snapshot(self) -> Dict[int, float]:
+        """A point-in-time copy, for later :meth:`diff`."""
+        return dict(self.counts)
+
+    def diff(self, since: Mapping[int, float]) -> Dict[int, float]:
+        """Per-key growth since a :meth:`snapshot` (zero deltas omitted)."""
+        return {
+            key: value - since.get(key, 0)
+            for key, value in self.counts.items()
+            if value != since.get(key, 0)
+        }
 
 
 def weighted_mean(values: Mapping[str, float], weights: Mapping[str, float]) -> float:

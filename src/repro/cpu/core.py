@@ -149,5 +149,10 @@ class CoreModel:
         return self.instructions / self.cycle
 
     @property
+    def mshrs(self) -> MSHRFile:
+        """The L1 MSHR file (telemetry attaches its occupancy histogram)."""
+        return self._mshrs
+
+    @property
     def mshr_full_stalls(self) -> int:
         return self._mshrs.full_stalls

@@ -17,7 +17,8 @@ import sys
 import time
 
 from repro.experiments import experiment_names, run_experiment, scale_by_name
-from repro.experiments.common import set_default_jobs
+from repro.experiments.common import set_default_jobs, set_default_telemetry
+from repro.telemetry import telemetry_from_env
 
 
 def main(argv=None) -> int:
@@ -52,6 +53,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="also render distribution figures as ASCII stacked bars",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="MODE",
+        help="telemetry collection: 'on' for histograms/counters, a "
+        "directory to also flush JSONL event traces, 'off' to force the "
+        "null sink (default: $REPRO_TELEMETRY, else off); simulated "
+        "results are identical either way",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -71,6 +81,8 @@ def main(argv=None) -> int:
     scale = scale_by_name(args.scale)
     if args.jobs is not None:
         set_default_jobs(args.jobs)
+    if args.telemetry is not None:
+        set_default_telemetry(telemetry_from_env(args.telemetry))
     if args.out:
         os.makedirs(args.out, exist_ok=True)
 

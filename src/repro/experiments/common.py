@@ -25,6 +25,7 @@ from repro.common.errors import ConfigurationError
 from repro.sim.config import SystemConfig
 from repro.sim.driver import run_benchmark
 from repro.sim.results import RunResult, run_result_from_dict
+from repro.telemetry import TelemetryConfig, telemetry_from_env
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceCache, default_trace_cache_dir, generate_trace
@@ -44,9 +45,12 @@ FULL = Scale(name="full", n_references=2_000_000, warmup_fraction=0.5)
 QUICK = Scale(name="quick", n_references=500_000, warmup_fraction=0.45)
 SMOKE = Scale(name="smoke", n_references=60_000, warmup_fraction=0.3)
 
+_RunKey = Tuple[str, str, int, float, int, Optional[str]]
 _TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
-_RUN_CACHE: Dict[Tuple[str, str, int, float, int], RunResult] = {}
+_RUN_CACHE: Dict[_RunKey, RunResult] = {}
 _DEFAULT_JOBS: Optional[int] = None
+_DEFAULT_TELEMETRY: Optional[TelemetryConfig] = None
+_TELEMETRY_SET = False
 
 
 def clear_caches() -> None:
@@ -65,6 +69,32 @@ def set_default_jobs(jobs: Optional[int]) -> None:
     if jobs is not None and jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     _DEFAULT_JOBS = jobs
+
+
+def set_default_telemetry(telemetry: Optional[TelemetryConfig]) -> None:
+    """Set the process-wide telemetry config experiments use.
+
+    The CLI's ``--telemetry`` flag lands here.  ``None`` explicitly
+    selects the null sink (and still counts as "set", overriding the
+    ``REPRO_TELEMETRY`` environment convention).
+    """
+    global _DEFAULT_TELEMETRY, _TELEMETRY_SET
+    _DEFAULT_TELEMETRY = telemetry
+    _TELEMETRY_SET = True
+
+
+def reset_default_telemetry() -> None:
+    """Back to the environment-driven default (tests use this)."""
+    global _DEFAULT_TELEMETRY, _TELEMETRY_SET
+    _DEFAULT_TELEMETRY = None
+    _TELEMETRY_SET = False
+
+
+def default_telemetry() -> Optional[TelemetryConfig]:
+    """The effective config: ``set_default_telemetry``, else ``REPRO_TELEMETRY``."""
+    if _TELEMETRY_SET:
+        return _DEFAULT_TELEMETRY
+    return telemetry_from_env(os.environ.get("REPRO_TELEMETRY"))
 
 
 def default_jobs() -> int:
@@ -123,19 +153,24 @@ def cached_run(config: SystemConfig, benchmark: str, scale: Scale) -> RunResult:
             trace=shared_trace(benchmark, scale),
             warmup_fraction=scale.warmup_fraction,
             seed=scale.seed,
+            telemetry=default_telemetry(),
         )
     return _RUN_CACHE[key]
 
 
-def _run_key(
-    config: SystemConfig, benchmark: str, scale: Scale
-) -> Tuple[str, str, int, float, int]:
+def _run_key(config: SystemConfig, benchmark: str, scale: Scale) -> _RunKey:
+    telemetry = default_telemetry()
     return (
         config.name,
         benchmark,
         scale.n_references,
         scale.warmup_fraction,
         scale.seed,
+        # Telemetry settings change the payload attached to a result
+        # (never the simulated numbers), so they key the cache too.
+        None if telemetry is None else json.dumps(
+            telemetry.fingerprint(), sort_keys=True
+        ),
     )
 
 
@@ -191,6 +226,7 @@ def run_matrix(
                     trace=trace,
                     trace_path=trace_path,
                     isolate_errors=False,
+                    telemetry=default_telemetry(),
                 )
             )
         for payload in run_cells(tasks, jobs):

@@ -17,9 +17,12 @@ removes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import CacheTelemetry
 from repro.common.stats import Counter, Distribution
 from repro.common.types import AccessResult
 from repro.caches.block import block_address, set_index
@@ -82,6 +85,8 @@ class DNUCACache:
 
         self.stats = Counter()
         self.dgroup_hits = Distribution()
+        #: Optional telemetry client (None is the null sink).
+        self.telemetry: Optional["CacheTelemetry"] = None
 
     def _register_energy(self) -> None:
         self.energy.register(f"{self.name}.ss_probe", self.geometry.ss_energy_nj)
@@ -154,10 +159,14 @@ class DNUCACache:
             slot.last_touch = self._clock
             if is_write:
                 slot.dirty = True
+            if self.telemetry is not None:
+                self.telemetry.on_access(baddr, True, actual_level, result.latency)
             if actual_level > 0 and self.config.promote_on_hit:
                 self._promote(index, pos, now + result.latency)
         else:
             self.stats.add("misses")
+            if self.telemetry is not None:
+                self.telemetry.on_access(baddr, False, None, result.latency)
         return result
 
     def _access_multicast(
@@ -286,9 +295,21 @@ class DNUCACache:
             self.smart_search.move(index, displaced.block_addr, level)
 
         self.stats.add("promotions")
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "promotion", addr=moving.block_addr, src=level, dst=target, cycle=now
+            )
         self._charge_move(index, level, target, now)
         if displaced is not None:
             self.stats.add("demotions")
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "demotion",
+                    addr=displaced.block_addr,
+                    src=target,
+                    dst=level,
+                    cycle=now,
+                )
             self._charge_move(index, target, level, now)
 
     def _charge_move(self, index: int, src_level: int, dst_level: int, now: float) -> None:
@@ -322,12 +343,20 @@ class DNUCACache:
             del self._where[index][old.block_addr]
             self.smart_search.remove(index, old.block_addr)
             self.stats.add("evictions")
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "eviction", addr=old.block_addr, dgroup=insert_level, cycle=now
+                )
             if old.dirty:
                 writebacks = 1
                 self.stats.add("writebacks")
                 bank = self._bank_of(index, insert_level)
                 self.energy.charge(f"{self.name}.bank{bank.index}.read")
                 self.stats.add("dgroup_accesses")
+                if self.telemetry is not None:
+                    self.telemetry.event(
+                        "writeback", addr=old.block_addr, dgroup=insert_level, cycle=now
+                    )
 
         slots[position] = _Slot(block_addr=baddr, dirty=dirty, last_touch=self._clock)
         self._where[index][baddr] = position
@@ -335,6 +364,10 @@ class DNUCACache:
         bank = self._bank_of(index, insert_level)
         self.energy.charge(f"{self.name}.bank{bank.index}.write")
         self.stats.add("dgroup_accesses")
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "placement", addr=baddr, dgroup=insert_level, cycle=now
+            )
         return writebacks
 
     # --- prewarm (models the paper's 5B-instruction fast-forward) ---

@@ -30,6 +30,7 @@ from repro.common.errors import ConfigurationError, SimulationError
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cost
     from repro.faults.injector import FaultInjector
     from repro.faults.models import FaultPlan, HardFaultEvent
+    from repro.telemetry import CacheTelemetry
 from repro.common.lru import LRUPolicy
 from repro.common.rng import DeterministicRNG
 from repro.common.stats import Counter, Distribution
@@ -103,6 +104,9 @@ class NuRAPIDCache:
         #: None keeps every fault hook dead code: the no-fault path is
         #: bit-identical to the pre-fault simulator.
         self.fault_injector: Optional["FaultInjector"] = None
+        #: Optional telemetry client (see :mod:`repro.telemetry`).
+        #: None is the null sink: every hook below is a dead branch.
+        self.telemetry: Optional["CacheTelemetry"] = None
 
     # --- fault injection (opt-in) ---
 
@@ -176,6 +180,10 @@ class NuRAPIDCache:
             if self.fault_injector is not None:
                 self.fault_injector.on_access(False, False, address)
             self.stats.add("misses")
+            if self.telemetry is not None:
+                self.telemetry.on_access(
+                    baddr, False, None, float(self.geometry.miss_latency())
+                )
             return AccessResult(
                 hit=False,
                 latency=float(self.geometry.miss_latency()),
@@ -197,6 +205,10 @@ class NuRAPIDCache:
                 self.stats.add("fault_refetches")
                 self.stats.add("misses")
                 self._invalidate_frame(group, entry.frame)
+                if self.telemetry is not None:
+                    self.telemetry.on_access(
+                        baddr, False, None, float(self.geometry.hit_latency(group))
+                    )
                 return AccessResult(
                     hit=False,
                     latency=float(self.geometry.hit_latency(group)),
@@ -227,6 +239,9 @@ class NuRAPIDCache:
             )
             latency = (start - now) + self.geometry.dgroups[group].data_cycles
             done = now + latency
+
+        if self.telemetry is not None:
+            self.telemetry.on_access(baddr, True, group, latency)
 
         if group > 0 and self.config.promotion is not PromotionPolicy.DEMOTION_ONLY:
             entry.pending_hits += 1
@@ -272,6 +287,10 @@ class NuRAPIDCache:
             self.stats.add("fault_promotions_blocked")
             return
         self.stats.add("promotions")
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "promotion", addr=entry.block_addr, src=source, dst=target, cycle=now
+            )
 
         if self._stores[target].has_free(region):
             # Room in the faster group: a one-way move, no demotion.
@@ -304,6 +323,10 @@ class NuRAPIDCache:
         self._replacer.insert(source, region, old_frame)
 
         self.stats.add("demotions")
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "demotion", addr=victim_addr, src=target, dst=source, cycle=now
+            )
         self._charge_move(source, target, now)
         self._charge_move(target, source, now)
 
@@ -347,6 +370,10 @@ class NuRAPIDCache:
             self._stores[victim.dgroup].release(victim.frame)
             self._replacer.remove(victim.dgroup, region, victim.frame)
             self.stats.add("evictions")
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "eviction", addr=victim_addr, dgroup=victim.dgroup, cycle=now
+                )
             if victim.dirty:
                 writebacks = 1
                 self.stats.add("writebacks")
@@ -354,6 +381,10 @@ class NuRAPIDCache:
                 # it drains through the writeback buffer off the port.
                 self.energy.charge(f"{self.name}.dg{victim.dgroup}.read")
                 self.stats.add("dgroup_accesses")
+                if self.telemetry is not None:
+                    self.telemetry.event(
+                        "writeback", addr=victim_addr, dgroup=victim.dgroup, cycle=now
+                    )
         elif self.fault_injector is not None and not self._region_has_free(region):
             # Hard-fault retirement left fewer usable frames than the
             # tag side admits: the region is full even though this set
@@ -391,6 +422,10 @@ class NuRAPIDCache:
                     "free-frame accounting is corrupt"
                 )
             self.stats.add("demotions")
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "demotion", addr=incoming, src=group - 1, dst=group, cycle=now
+                )
             self._charge_move(group - 1, group, now, occupy=False)
         frame = self._stores[group].allocate(incoming, region)
         self._replacer.insert(group, region, frame)
@@ -405,6 +440,10 @@ class NuRAPIDCache:
         if entry is None:
             raise SimulationError("fill finished without installing the block")
         entry.dirty = dirty
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "placement", addr=baddr, dgroup=entry.dgroup, cycle=now
+            )
         return writebacks
 
     def _settle(
@@ -507,6 +546,8 @@ class NuRAPIDCache:
                     self.stats.add("fault_dirty_lines_lost")
             store.retire(frame)
             self.stats.add("fault_frames_retired")
+        if self.telemetry is not None:
+            self.telemetry.event("fault_retire", dgroup=dgroup, subarray=subarray)
 
     def retired_frames(self) -> List[int]:
         """Retired frames per d-group, fastest first."""

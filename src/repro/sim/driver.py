@@ -19,6 +19,13 @@ from repro.cpu.core import CoreModel
 from repro.cpu.wattch import ProcessorEnergyModel
 from repro.sim.config import SystemConfig, build_system
 from repro.sim.results import RunResult, SuiteResult
+from repro.telemetry import (
+    LATENCY_BOUNDS,
+    NullProfiler,
+    Telemetry,
+    TelemetryConfig,
+    occupancy_bounds,
+)
 from repro.workloads.spec2k import BenchmarkProfile, get_benchmark
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import generate_trace
@@ -124,6 +131,80 @@ def _lower_energy_nj(system: System) -> float:
     return total
 
 
+def _attach_telemetry(system: System, core: CoreModel, session: Telemetry) -> None:
+    """Hook the session's clients into a freshly-reset system.
+
+    Attached *after* the warmup reset so histograms and events cover
+    the measured portion only, like every other statistic.
+    """
+    attached = set()
+    for cache in (system.l1d, system.l1i):
+        if id(cache) in attached:
+            continue
+        attached.add(id(cache))
+        cache.telemetry = session.cache_client(cache.name)
+    for level in system.lower:
+        target = getattr(level, "cache", level)
+        if id(target) in attached:
+            continue
+        attached.add(id(target))
+        target.telemetry = session.cache_client(target.name)
+    system.hierarchy.miss_latency_hist = session.histogram(
+        "hierarchy.l1_miss_latency", LATENCY_BOUNDS
+    )
+    core.mshrs.occupancy_hist = session.histogram(
+        "core.mshr_occupancy", occupancy_bounds(core.params.mshrs)
+    )
+
+
+def _cache_counters(target) -> Dict[str, float]:
+    """A cache's flat counters, whichever stats style it keeps."""
+    stats = getattr(target, "stats", None)
+    if stats is not None and hasattr(stats, "as_dict"):
+        return dict(stats.as_dict())
+    return {
+        "accesses": float(target.accesses),
+        "hits": float(target.hits),
+        "misses": float(target.misses),
+        "writebacks": float(target.writebacks),
+    }
+
+
+def _capture_telemetry(system: System, core: CoreModel, session: Telemetry) -> None:
+    """End-of-run gauges: counters, energy, occupancy, port pressure."""
+    captured = set()
+    for cache in (system.l1d, system.l1i):
+        if id(cache) in captured:
+            continue
+        captured.add(id(cache))
+        session.capture_counters(cache.name, _cache_counters(cache))
+        session.capture_energy(cache.name, cache.energy)
+    for level in system.lower:
+        target = getattr(level, "cache", level)
+        if id(target) in captured:
+            continue
+        captured.add(id(target))
+        session.capture_counters(target.name, _cache_counters(target))
+        session.capture_energy(target.name, target.energy)
+        occupancy = getattr(target, "dgroup_occupancy", None)
+        if occupancy is not None:
+            for group, (occupied, frames) in enumerate(occupancy()):
+                session.capture_gauge(f"{target.name}.dg{group}.occupied", occupied)
+                session.capture_gauge(f"{target.name}.dg{group}.frames", frames)
+        port = getattr(target, "port", None)
+        if port is not None:
+            session.capture_gauge(f"{target.name}.port.busy_cycles", port.total_busy)
+            session.capture_gauge(f"{target.name}.port.wait_cycles", port.total_wait)
+            session.capture_gauge(f"{target.name}.port.grants", port.grants)
+    session.capture_counters("hierarchy", system.hierarchy.stats.as_dict())
+    session.capture_gauge("memory.reads", system.memory.reads)
+    session.capture_gauge("memory.writes", system.memory.writes)
+    session.capture_gauge("core.stall_cycles", core.stall_cycles)
+    session.capture_gauge("core.branch_penalty_cycles", core.branch_penalty_cycles)
+    session.capture_gauge("core.mshr_stall_cycles", core.mshr_stall_cycles)
+    session.capture_gauge("core.mshr_full_stalls", core.mshr_full_stalls)
+
+
 def run_benchmark(
     config: SystemConfig,
     benchmark: str,
@@ -134,6 +215,7 @@ def run_benchmark(
     energy_model: Optional[ProcessorEnergyModel] = None,
     warm_set_conflict: int = 1,
     prewarm: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunResult:
     """Run one benchmark on one system and collect measurements."""
     if n_references <= 0:
@@ -144,12 +226,18 @@ def run_benchmark(
         raise ConfigurationError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
         )
+    session: Optional[Telemetry] = None
+    if telemetry is not None and telemetry.enabled:
+        session = Telemetry(telemetry, f"{config.name}/{benchmark}/s{seed}")
+    profiler = session.profiler if session is not None else NullProfiler()
     profile: BenchmarkProfile = get_benchmark(benchmark)
     if trace is None:
-        trace = generate_trace(
-            profile, n_references, seed=seed, warm_set_conflict=warm_set_conflict
-        )
-    system = make_system(config, prewarm=prewarm)
+        with profiler.phase("tracegen"):
+            trace = generate_trace(
+                profile, n_references, seed=seed, warm_set_conflict=warm_set_conflict
+            )
+    with profiler.phase("build"):
+        system = make_system(config, prewarm=prewarm)
     warm, measured = trace.split(warmup_fraction)
     if not len(measured):
         raise ConfigurationError("no measured references after warmup split")
@@ -165,7 +253,8 @@ def run_benchmark(
 
     warm_core = new_core()
     if len(warm):
-        _replay(system, warm_core, warm)
+        with profiler.phase("warmup"):
+            _replay(system, warm_core, warm)
     system.reset_stats()
 
     core = new_core()
@@ -173,7 +262,10 @@ def run_benchmark(
     core.cycle = warm_core.cycle
     start_cycle = core.cycle
     start_instr = core.instructions
-    _replay(system, core, measured)
+    if session is not None:
+        _attach_telemetry(system, core, session)
+    with profiler.phase("measure"):
+        _replay(system, core, measured)
 
     cycles = core.cycle - start_cycle
     instructions = core.instructions - start_instr
@@ -199,6 +291,12 @@ def run_benchmark(
                 # measured-portion capacity).
                 extra["fault_frames_retired_total"] = float(sum(retired()))
 
+    telemetry_payload: Optional[Dict[str, object]] = None
+    if session is not None:
+        _capture_telemetry(system, core, session)
+        trace_path = session.flush_trace()
+        telemetry_payload = session.payload(trace_path)
+
     return RunResult(
         benchmark=benchmark,
         config_name=config.name,
@@ -212,6 +310,7 @@ def run_benchmark(
         lower_energy_nj=lower_energy,
         core_energy_nj=model.core_energy_nj(instructions, cycles),
         stats=extra,
+        telemetry=telemetry_payload,
     )
 
 
@@ -227,6 +326,7 @@ def run_suite(
     prewarm: bool = True,
     jobs: int = 1,
     trace_cache_dir: Optional[str] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> SuiteResult:
     """Run a set of benchmarks on one configuration.
 
@@ -256,6 +356,7 @@ def run_suite(
                 energy_model=energy_model,
                 warm_set_conflict=warm_set_conflict,
                 prewarm=prewarm,
+                telemetry=telemetry,
             )
         return SuiteResult(config_name=config.name, runs=runs)
 
@@ -300,6 +401,7 @@ def run_suite(
                     prewarm=prewarm,
                     energy_model=energy_model,
                     isolate_errors=False,
+                    telemetry=telemetry,
                 )
             )
         for payload in run_cells(tasks, jobs):

@@ -44,6 +44,7 @@ from repro.cpu.wattch import ProcessorEnergyModel
 from repro.sim.config import SystemConfig
 from repro.sim.driver import run_benchmark
 from repro.sim.results import run_result_to_dict
+from repro.telemetry import TelemetryConfig
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import generate_trace
@@ -92,6 +93,9 @@ class CellTask:
     #: semantics).  False: they propagate to the parent (suite
     #: semantics, where one bad run should abort the suite).
     isolate_errors: bool = True
+    #: Telemetry collection for the run; the payload rides back inside
+    #: the RunResult dict, so parallel runs lose nothing vs serial.
+    telemetry: Optional[TelemetryConfig] = None
 
 
 def _attempt_trace(task: CellTask, attempt: int) -> Trace:
@@ -138,6 +142,7 @@ def execute_cell(task: CellTask) -> Dict[str, object]:
                 energy_model=task.energy_model,
                 warm_set_conflict=task.warm_set_conflict,
                 prewarm=task.prewarm,
+                telemetry=task.telemetry,
             )
             return {
                 "index": task.index,

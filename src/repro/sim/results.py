@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from repro.common.errors import ConfigurationError
 
@@ -26,6 +26,11 @@ class RunResult:
     lower_energy_nj: float
     core_energy_nj: float
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Telemetry payload (see :mod:`repro.telemetry`); None when the
+    #: run was not telemetry-enabled.  Excluded from result-equality
+    #: comparisons of the simulated quantities above by convention:
+    #: strip it (``result.telemetry = None``) before comparing.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def ipc(self) -> float:
@@ -57,7 +62,7 @@ class RunResult:
 
 def run_result_to_dict(result: RunResult) -> Dict[str, object]:
     """A JSON-safe payload for checkpoint files (see sim.sweep)."""
-    return {
+    payload: Dict[str, object] = {
         "benchmark": result.benchmark,
         "config_name": result.config_name,
         "instructions": result.instructions,
@@ -72,6 +77,9 @@ def run_result_to_dict(result: RunResult) -> Dict[str, object]:
         "core_energy_nj": result.core_energy_nj,
         "stats": dict(result.stats),
     }
+    if result.telemetry is not None:
+        payload["telemetry"] = result.telemetry
+    return payload
 
 
 def run_result_from_dict(payload: Mapping[str, object]) -> RunResult:
@@ -94,6 +102,7 @@ def run_result_from_dict(payload: Mapping[str, object]) -> RunResult:
             lower_energy_nj=float(payload["lower_energy_nj"]),  # type: ignore[arg-type]
             core_energy_nj=float(payload["core_energy_nj"]),  # type: ignore[arg-type]
             stats={str(k): float(v) for k, v in dict(payload["stats"]).items()},  # type: ignore[arg-type]
+            telemetry=payload.get("telemetry"),  # type: ignore[arg-type]
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed RunResult payload: {exc}") from exc

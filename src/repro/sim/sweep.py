@@ -57,6 +57,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.driver import run_benchmark
 from repro.sim.parallel import CellTask, reseed_config, run_cells
 from repro.sim.results import RunResult, run_result_from_dict, run_result_to_dict
+from repro.telemetry import TelemetryConfig
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceCache, default_trace_cache_dir, generate_trace
@@ -184,6 +185,7 @@ class Sweep:
         jobs: int = 1,
         trace_cache_dir: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         if not axes:
             raise ConfigurationError("sweep needs at least one axis")
@@ -224,6 +226,7 @@ class Sweep:
         self.jobs = jobs
         self.trace_cache_dir = trace_cache_dir
         self.checkpoint_every = checkpoint_every
+        self.telemetry = telemetry
         self._traces: Dict[str, Trace] = {}
 
     def _trace(self, benchmark: str, attempt: int = 0) -> Trace:
@@ -274,6 +277,12 @@ class Sweep:
             "warmup_fraction": self.warmup_fraction,
             "max_retries": self.max_retries,
             "reseed_step": self.reseed_step,
+            # Telemetry payloads live inside checkpointed results, so a
+            # resume with different collection settings must not splice
+            # cells with mismatched (or missing) telemetry together.
+            "telemetry": None
+            if self.telemetry is None
+            else self.telemetry.fingerprint(),
         }
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -346,6 +355,7 @@ class Sweep:
                     trace=self._trace(benchmark, attempt),
                     warmup_fraction=self.warmup_fraction,
                     seed=self.seed + attempt * self.reseed_step,
+                    telemetry=self.telemetry,
                 )
                 return result, RunOutcome(status="ok", attempts=attempts)
             except ReproError as exc:
@@ -499,6 +509,7 @@ class Sweep:
                 max_retries=self.max_retries,
                 reseed_step=self.reseed_step,
                 budget_s=self.point_budget_s,
+                telemetry=self.telemetry,
             )
             for position, (index, benchmark) in enumerate(pending)
         ]
