@@ -18,7 +18,6 @@ promotion by swapping with the LRU way of the adjacent faster group.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError, SimulationError
@@ -31,16 +30,6 @@ from repro.caches.block import block_address, set_index
 from repro.caches.port import PortScheduler
 from repro.floorplan.dgroups import NuRAPIDGeometry, build_nurapid_geometry
 from repro.tech.energy import EnergyBook
-
-
-@dataclass
-class _Way:
-    """One way of one set: its occupant and state."""
-
-    block_addr: Optional[int] = None
-    dirty: bool = False
-    #: Per-set logical timestamp of the last touch, for LRU-within-group.
-    last_touch: int = 0
 
 
 class SetAssociativePlacementCache:
@@ -78,9 +67,13 @@ class SetAssociativePlacementCache:
             associativity=associativity,
         )
 
-        self._sets: List[List[_Way]] = [
-            [_Way() for _ in range(associativity)] for _ in range(self.n_sets)
-        ]
+        #: Flat per-frame state; frame = set_index * associativity + way.
+        #: -1 in ``_addrs`` marks a free way.
+        n_frames = self.n_sets * associativity
+        self._addrs: List[int] = [-1] * n_frames
+        self._dirty = bytearray(n_frames)
+        #: Logical timestamp of the last touch, for LRU-within-group.
+        self._touch: List[int] = [0] * n_frames
         self._where: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
         self._clock = 0
         self.port = PortScheduler(f"{name}.port")
@@ -158,10 +151,10 @@ class SetAssociativePlacementCache:
         group = self.dgroup_of_way(way)
         self.stats.add("hits")
         self.dgroup_hits.add(group)
-        slot = self._sets[index][way]
-        slot.last_touch = self._clock
+        frame = index * self.associativity + way
+        self._touch[frame] = self._clock
         if is_write:
-            slot.dirty = True
+            self._dirty[frame] = 1
         op = "write" if is_write else "read"
         energy += self.energy.charge(f"{self.name}.dg{group}.{op}")
         self.stats.add("dgroup_accesses")
@@ -185,11 +178,12 @@ class SetAssociativePlacementCache:
         """LRU way of ``group`` in ``set``; optionally only occupied ways."""
         best: Optional[int] = None
         best_touch = None
+        base = index * self.associativity
         for way in self._ways_of_dgroup(group):
-            slot = self._sets[index][way]
-            if occupied_only and slot.block_addr is None:
+            occupied = self._addrs[base + way] >= 0
+            if occupied_only and not occupied:
                 continue
-            touch = (slot.block_addr is not None, slot.last_touch)
+            touch = (occupied, self._touch[base + way])
             # Free ways sort before occupied ones, then by recency.
             if best_touch is None or touch < best_touch:
                 best, best_touch = way, touch
@@ -205,33 +199,35 @@ class SetAssociativePlacementCache:
         if self.telemetry is not None:
             self.telemetry.event(
                 "promotion",
-                addr=self._sets[index][way].block_addr,
+                addr=self._addrs[index * self.associativity + way],
                 src=group,
                 dst=target,
                 cycle=now,
             )
         self._swap_ways(index, way, peer)
         self._charge_move(group, target, now)
-        if self._sets[index][way].block_addr is not None:
+        demoted = self._addrs[index * self.associativity + way]
+        if demoted >= 0:
             # A real two-way swap (the peer way was occupied).
             self.stats.add("demotions")
             if self.telemetry is not None:
                 self.telemetry.event(
-                    "demotion",
-                    addr=self._sets[index][way].block_addr,
-                    src=target,
-                    dst=group,
-                    cycle=now,
+                    "demotion", addr=demoted, src=target, dst=group, cycle=now
                 )
             self._charge_move(target, group, now)
 
     def _swap_ways(self, index: int, a: int, b: int) -> None:
-        ways = self._sets[index]
-        ways[a], ways[b] = ways[b], ways[a]
-        for way in (a, b):
-            occupant = ways[way].block_addr
-            if occupant is not None:
-                self._where[index][occupant] = way
+        addrs, dirty, touch = self._addrs, self._dirty, self._touch
+        base = index * self.associativity
+        fa, fb = base + a, base + b
+        addrs[fa], addrs[fb] = addrs[fb], addrs[fa]
+        dirty[fa], dirty[fb] = dirty[fb], dirty[fa]
+        touch[fa], touch[fb] = touch[fb], touch[fa]
+        where = self._where[index]
+        if addrs[fa] >= 0:
+            where[addrs[fa]] = a
+        if addrs[fb] >= 0:
+            where[addrs[fb]] = b
 
     def _charge_move(self, src: int, dst: int, now: float, occupy: bool = True) -> None:
         self.energy.charge(f"{self.name}.move.{src}->{dst}")
@@ -257,18 +253,19 @@ class SetAssociativePlacementCache:
             victim_way = self._lru_way(index, self.n_dgroups - 1, occupied_only=True)
             if victim_way is None:
                 raise SimulationError("full set has an empty slowest group")
-            slot = self._sets[index][victim_way]
-            assert slot.block_addr is not None
-            del self._where[index][slot.block_addr]
+            frame = index * self.associativity + victim_way
+            victim_addr = self._addrs[frame]
+            assert victim_addr >= 0
+            del self._where[index][victim_addr]
             self.stats.add("evictions")
             if self.telemetry is not None:
                 self.telemetry.event(
                     "eviction",
-                    addr=slot.block_addr,
+                    addr=victim_addr,
                     dgroup=self.dgroup_of_way(victim_way),
                     cycle=now,
                 )
-            if slot.dirty:
+            if self._dirty[frame]:
                 writebacks = 1
                 self.stats.add("writebacks")
                 group = self.dgroup_of_way(victim_way)
@@ -276,11 +273,11 @@ class SetAssociativePlacementCache:
                 self.stats.add("dgroup_accesses")
                 if self.telemetry is not None:
                     self.telemetry.event(
-                        "writeback", addr=slot.block_addr, dgroup=group, cycle=now
+                        "writeback", addr=victim_addr, dgroup=group, cycle=now
                     )
-            slot.block_addr = None
-            slot.dirty = False
-            slot.last_touch = 0
+            self._addrs[frame] = -1
+            self._dirty[frame] = 0
+            self._touch[frame] = 0
 
         # Demotion chain toward the freed (or naturally free) way.
         group = 0
@@ -291,13 +288,11 @@ class SetAssociativePlacementCache:
             way = self._lru_way(index, group)
             if way is None:
                 raise SimulationError("d-group has no ways in this set")
-            slot = self._sets[index][way]
-            displaced = (slot.block_addr, slot.dirty, slot.last_touch)
-            slot.block_addr, slot.dirty, slot.last_touch = (
-                carry_addr,
-                carry_dirty,
-                carry_touch,
-            )
+            frame = index * self.associativity + way
+            displaced = (self._addrs[frame], self._dirty[frame], self._touch[frame])
+            self._addrs[frame] = carry_addr
+            self._dirty[frame] = 1 if carry_dirty else 0
+            self._touch[frame] = carry_touch
             self._where[index][carry_addr] = way
             if group > 0:
                 self.stats.add("demotions")
@@ -306,7 +301,7 @@ class SetAssociativePlacementCache:
                         "demotion", addr=carry_addr, src=group - 1, dst=group, cycle=now
                     )
                 self._charge_move(group - 1, group, now, occupy=False)
-            if displaced[0] is None:
+            if displaced[0] < 0:
                 break
             carry_addr, carry_dirty, carry_touch = displaced
             group += 1
@@ -326,17 +321,17 @@ class SetAssociativePlacementCache:
     def prewarm(self) -> None:
         """Fill every way with a clean dummy block (steady-state start)."""
         for index in range(self.n_sets):
+            base = index * self.associativity
             for way in range(self.associativity):
-                if self._sets[index][way].block_addr is not None:
+                if self._addrs[base + way] >= 0:
                     continue
                 baddr = (
                     self.PREWARM_BASE
                     + (way * self.n_sets + index) * self.block_bytes
                 )
-                slot = self._sets[index][way]
-                slot.block_addr = baddr
-                slot.dirty = False
-                slot.last_touch = 0
+                self._addrs[base + way] = baddr
+                self._dirty[base + way] = 0
+                self._touch[base + way] = 0
                 self._where[index][baddr] = way
 
     # --- introspection ---
@@ -358,17 +353,16 @@ class SetAssociativePlacementCache:
         self.port.grants = 0
 
     def check_invariants(self) -> None:
-        for index, ways in enumerate(self._sets):
+        for index in range(self.n_sets):
+            base = index * self.associativity
             where = self._where[index]
-            occupied = {
-                way
-                for way, slot in enumerate(ways)
-                if slot.block_addr is not None
-            }
-            if len(where) != len(occupied):
+            occupied = sum(
+                1 for way in range(self.associativity) if self._addrs[base + way] >= 0
+            )
+            if len(where) != occupied:
                 raise SimulationError(f"set {index} map/slot count mismatch")
             for baddr, way in where.items():
-                if ways[way].block_addr != baddr:
+                if self._addrs[base + way] != baddr:
                     raise SimulationError(f"set {index} way {way} map mismatch")
                 if self._set_of(baddr) != index:
                     raise SimulationError(f"block {baddr:#x} in wrong set")

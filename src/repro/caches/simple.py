@@ -4,14 +4,24 @@ Used for the L1 i/d caches and for both levels of the paper's base
 case (1 MB 8-way L2 at 11 cycles over an 8 MB 8-way L3 at 43 cycles,
 Table 1/§4).  Placement and replacement are the classic coupled design:
 a block's way in the tag array *is* its location in the data array.
+
+State is kept in flat parallel arrays indexed by frame (``set * assoc
++ way``) rather than per-block objects: ``_tags`` holds the resident
+block address (-1 = invalid), ``_dirty`` the dirty bits, and
+``_stamps`` a monotonically increasing touch stamp that realizes true
+LRU (the victim is the valid way with the smallest stamp — exactly the
+least recently inserted-or-touched block, bit-identical to the
+dict-ordered LRU this class used to keep).  The flat layout is what
+the fast replay engine (:mod:`repro.sim.fastpath`) indexes directly;
+the methods below are the thin view the rest of the simulator, the
+fault injector, and telemetry keep using.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.common.errors import ConfigurationError
-from repro.common.lru import LRUPolicy
 from repro.common.types import AccessResult
 from repro.caches.block import CacheBlock, block_address, set_index
 from repro.faults.models import TransientOutcome
@@ -36,8 +46,16 @@ class SetAssociativeCache:
         self.n_sets = blocks // spec.associativity
         if self.n_sets & (self.n_sets - 1):
             raise ConfigurationError("set count must be a power of two")
-        self._sets: List[Dict[int, CacheBlock]] = [dict() for _ in range(self.n_sets)]
-        self._lru: List[LRUPolicy] = [LRUPolicy() for _ in range(self.n_sets)]
+        assoc = spec.associativity
+        self._assoc = assoc
+        n_frames = self.n_sets * assoc
+        #: Flat per-frame state; frame = set_index * associativity + way.
+        self._tags: List[int] = [-1] * n_frames
+        self._dirty = bytearray(n_frames)
+        self._stamps: List[int] = [0] * n_frames
+        #: Global touch clock; strictly increasing so stamps are unique
+        #: and min-stamp == true LRU.
+        self._clock = 1
         self.energy = energy if energy is not None else EnergyBook()
         self.energy.register(f"{self.name}.read", spec.read_energy_nj)
         self.energy.register(f"{self.name}.write", spec.write_energy_nj)
@@ -79,9 +97,18 @@ class SetAssociativeCache:
     def _locate(self, address: int) -> int:
         return set_index(address, self.spec.block_bytes, self.n_sets)
 
+    def _find(self, index: int, baddr: int) -> int:
+        """Frame holding ``baddr`` within set ``index``, or -1."""
+        tags = self._tags
+        base = index * self._assoc
+        for frame in range(base, base + self._assoc):
+            if tags[frame] == baddr:
+                return frame
+        return -1
+
     def contains(self, address: int) -> bool:
         baddr = block_address(address, self.spec.block_bytes)
-        return baddr in self._sets[self._locate(address)]
+        return self._find(self._locate(address), baddr) >= 0
 
     def access(self, address: int, is_write: bool = False, now: float = 0.0) -> AccessResult:
         """Present one reference; on a miss the caller fetches and fills.
@@ -96,20 +123,20 @@ class SetAssociativeCache:
         del now
         baddr = block_address(address, self.spec.block_bytes)
         index = self._locate(address)
-        resident = self._sets[index]
+        frame = self._find(index, baddr)
         op = f"{self.name}.write" if is_write else f"{self.name}.read"
         energy = self.energy.charge(op)
-        if baddr in resident:
+        if frame >= 0:
             if self.fault_injector is not None:
                 # May raise UncorrectableDataError for a dirty-line DUE.
                 outcome = self.fault_injector.on_access(
-                    True, resident[baddr].dirty, address
+                    True, bool(self._dirty[frame]), address
                 )
                 if outcome is TransientOutcome.REFETCH:
                     # Detected-uncorrectable on a clean line: drop it
                     # and refetch from below, surfaced as a miss.
-                    self._lru[index].remove(baddr)
-                    del resident[baddr]
+                    self._tags[frame] = -1
+                    self._dirty[frame] = 0
                     self.fault_refetches += 1
                     self.misses += 1
                     if self.telemetry is not None:
@@ -123,9 +150,10 @@ class SetAssociativeCache:
                         energy_nj=energy,
                     )
             self.hits += 1
-            self._lru[index].touch(baddr)
+            self._stamps[frame] = self._clock
+            self._clock += 1
             if is_write:
-                resident[baddr].dirty = True
+                self._dirty[frame] = 1
             if self.telemetry is not None:
                 self.telemetry.on_access(
                     baddr, True, None, float(self.spec.latency_cycles)
@@ -161,24 +189,40 @@ class SetAssociativeCache:
         """
         baddr = block_address(address, self.spec.block_bytes)
         index = self._locate(address)
-        resident = self._sets[index]
-        if baddr in resident:
+        if self._find(index, baddr) >= 0:
             # Two misses to the same block can race through the MSHR
             # merge path; the second fill is a no-op.
             return None
         self.energy.charge(f"{self.name}.write")
+        tags = self._tags
+        stamps = self._stamps
+        base = index * self._assoc
+        free = -1
+        victim = -1
+        victim_stamp = 0
+        for frame in range(base, base + self._assoc):
+            if tags[frame] < 0:
+                if free < 0:
+                    free = frame
+            elif victim < 0 or stamps[frame] < victim_stamp:
+                victim = frame
+                victim_stamp = stamps[frame]
         victim_block: Optional[CacheBlock] = None
-        if len(resident) >= self.spec.associativity:
-            victim_addr = self._lru[index].pop_victim()
-            victim_block = resident.pop(victim_addr)
+        if free < 0:
+            victim_block = CacheBlock(
+                block_addr=tags[victim], dirty=bool(self._dirty[victim])
+            )
             if self.telemetry is not None:
-                self.telemetry.event("eviction", addr=victim_addr)
+                self.telemetry.event("eviction", addr=victim_block.block_addr)
             if victim_block.dirty:
                 self.writebacks += 1
                 if self.telemetry is not None:
-                    self.telemetry.event("writeback", addr=victim_addr)
-        resident[baddr] = CacheBlock(block_addr=baddr, dirty=dirty)
-        self._lru[index].insert(baddr)
+                    self.telemetry.event("writeback", addr=victim_block.block_addr)
+            free = victim
+        tags[free] = baddr
+        self._dirty[free] = 1 if dirty else 0
+        stamps[free] = self._clock
+        self._clock += 1
         if self.telemetry is not None:
             self.telemetry.event("placement", addr=baddr)
         return victim_block
@@ -186,12 +230,13 @@ class SetAssociativeCache:
     def invalidate(self, address: int) -> Optional[CacheBlock]:
         """Remove a block (if present) without writing it back."""
         baddr = block_address(address, self.spec.block_bytes)
-        index = self._locate(address)
-        resident = self._sets[index]
-        if baddr not in resident:
+        frame = self._find(self._locate(address), baddr)
+        if frame < 0:
             return None
-        self._lru[index].remove(baddr)
-        return resident.pop(baddr)
+        block = CacheBlock(block_addr=baddr, dirty=bool(self._dirty[frame]))
+        self._tags[frame] = -1
+        self._dirty[frame] = 0
+        return block
 
     # --- prewarm ---
 
@@ -199,16 +244,26 @@ class SetAssociativeCache:
 
     def prewarm(self) -> None:
         """Fill every way with a clean dummy block (steady-state start)."""
-        for index in range(self.n_sets):
-            for way in range(self.spec.associativity):
-                baddr = (
-                    self.PREWARM_BASE
-                    + (way * self.n_sets + index) * self.spec.block_bytes
-                )
-                if baddr in self._sets[index]:
+        tags = self._tags
+        stamps = self._stamps
+        assoc = self._assoc
+        clock = self._clock
+        block_bytes = self.spec.block_bytes
+        n_sets = self.n_sets
+        base_addr = self.PREWARM_BASE
+        for index in range(n_sets):
+            base = index * assoc
+            for way in range(assoc):
+                baddr = base_addr + (way * n_sets + index) * block_bytes
+                if self._find(index, baddr) >= 0:
                     continue
-                self._sets[index][baddr] = CacheBlock(block_addr=baddr)
-                self._lru[index].insert(baddr)
+                for frame in range(base, base + assoc):
+                    if tags[frame] < 0:
+                        tags[frame] = baddr
+                        stamps[frame] = clock
+                        clock += 1
+                        break
+        self._clock = clock
 
     # --- introspection ---
 
@@ -232,4 +287,4 @@ class SetAssociativeCache:
 
     def occupancy(self) -> int:
         """Number of resident blocks (for tests and examples)."""
-        return sum(len(s) for s in self._sets)
+        return sum(1 for tag in self._tags if tag >= 0)

@@ -18,7 +18,7 @@ of a d-group).
 from __future__ import annotations
 
 import abc
-from typing import Dict, Hashable, Iterator, List, Optional
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.rng import DeterministicRNG
@@ -57,6 +57,16 @@ class EvictionPolicy(abc.ABC):
         self.remove(key)
         return key
 
+    def insert_many(self, keys: Iterable[Hashable]) -> None:
+        """Insert ``keys`` in order; equivalent to ``insert`` per key.
+
+        Bulk-state setup (cache prewarm inserts one key per frame, tens
+        of thousands of times) goes through this so subclasses can
+        replace the per-key call chain with one container update.
+        """
+        for key in keys:
+            self.insert(key)
+
 
 class LRUPolicy(EvictionPolicy):
     """True least-recently-used.
@@ -86,6 +96,14 @@ class LRUPolicy(EvictionPolicy):
             del self._order[key]
         except KeyError:
             raise SimulationError(f"remove of untracked key {key!r}") from None
+
+    def insert_many(self, keys: Iterable[Hashable]) -> None:
+        keys = list(keys)
+        order = self._order
+        before = len(order)
+        order.update(dict.fromkeys(keys))
+        if len(order) != before + len(keys):
+            raise SimulationError("duplicate key in LRUPolicy.insert_many")
 
     def victim(self) -> Hashable:
         try:
@@ -127,6 +145,16 @@ class RandomPolicy(EvictionPolicy):
             raise SimulationError(f"duplicate insert of {key!r} into RandomPolicy")
         self._index[key] = len(self._keys)
         self._keys.append(key)
+
+    def insert_many(self, keys: Iterable[Hashable]) -> None:
+        keys = list(keys)
+        index = self._index
+        base = len(self._keys)
+        for pos, key in enumerate(keys):
+            if key in index:
+                raise SimulationError("duplicate key in RandomPolicy.insert_many")
+            index[key] = base + pos
+        self._keys.extend(keys)
 
     def touch(self, key: Hashable) -> None:
         if key not in self._index:
@@ -184,6 +212,17 @@ class ApproxLRUPolicy(EvictionPolicy):
         self._index[key] = len(self._keys)
         self._keys.append(key)
         self._refbit[key] = True
+
+    def insert_many(self, keys: Iterable[Hashable]) -> None:
+        keys = list(keys)
+        index = self._index
+        base = len(self._keys)
+        for pos, key in enumerate(keys):
+            if key in index:
+                raise SimulationError("duplicate key in ApproxLRUPolicy.insert_many")
+            index[key] = base + pos
+        self._keys.extend(keys)
+        self._refbit.update(dict.fromkeys(keys, True))
 
     def touch(self, key: Hashable) -> None:
         if key not in self._index:

@@ -140,6 +140,33 @@ class CoreModel:
         else:
             self._mshrs.allocate(block, self.cycle, fill_at)
 
+    def commit_batch(
+        self,
+        *,
+        cycle: float,
+        instructions: int,
+        memory_accesses: int,
+        branch_penalty_cycles: float,
+        stall_cycles: float,
+        mshr_stall_cycles: float,
+    ) -> None:
+        """Write back state accumulated by a batched replay engine.
+
+        The fast kernel (:mod:`repro.sim.fastpath`) inlines
+        :meth:`advance_instructions` and :meth:`note_memory_result`
+        into its fused loop, accumulating the hot scalars in locals
+        with the exact same sequence of float operations; this installs
+        the final values (absolute, not deltas) in one call.  MSHR
+        state is shared in place via :attr:`mshrs`, so only the scalar
+        books need committing.
+        """
+        self.cycle = cycle
+        self.instructions = instructions
+        self.memory_accesses = memory_accesses
+        self.branch_penalty_cycles = branch_penalty_cycles
+        self.stall_cycles = stall_cycles
+        self.mshr_stall_cycles = mshr_stall_cycles
+
     # --- results ---
 
     @property

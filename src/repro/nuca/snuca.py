@@ -155,15 +155,18 @@ class SNUCACache:
 
     def prewarm(self) -> None:
         """Fill every way with clean dummies (steady-state start)."""
-        for index in range(self.n_sets):
+        n_sets = self.n_sets
+        bb = self.block_bytes
+        base = self.PREWARM_BASE
+        for index in range(n_sets):
+            resident = self._sets[index]
+            fresh = []
             for way in range(self.associativity):
-                baddr = (
-                    self.PREWARM_BASE + (way * self.n_sets + index) * self.block_bytes
-                )
-                if baddr in self._sets[index]:
-                    continue
-                self._sets[index][baddr] = _Line(block_addr=baddr, dirty=False)
-                self._lru[index].insert(baddr)
+                baddr = base + (way * n_sets + index) * bb
+                if baddr not in resident:
+                    resident[baddr] = _Line(block_addr=baddr, dirty=False)
+                    fresh.append(baddr)
+            self._lru[index].insert_many(fresh)
 
     def reset_stats(self) -> None:
         self.stats.reset()

@@ -47,7 +47,12 @@ from repro.tech.energy import EnergyBook
 
 @dataclass
 class TagEntry:
-    """One tag-array entry: identity, state, and the forward pointer."""
+    """One tag-array entry: identity, state, and the forward pointer.
+
+    Internally the tag array packs this state into a single int per
+    block (see the ``_PACK_*`` layout below); :meth:`NuRAPIDCache.lookup`
+    materializes a ``TagEntry`` snapshot for introspection and tests.
+    """
 
     block_addr: int
     dirty: bool
@@ -56,6 +61,20 @@ class TagEntry:
     #: Hits taken outside the promotion target since the last move
     #: (drives the promotion_hysteresis extension).
     pending_hits: int = 0
+
+
+# Packed tag-entry layout: frame in the low bits, then d-group, the
+# dirty bit, and pending promotion hits on top.  Keeping the whole
+# entry in one int means the hot access path does a single dict load
+# and a couple of shifts instead of walking an object graph.
+_PACK_FRAME_BITS = 24
+_PACK_FRAME_MASK = (1 << _PACK_FRAME_BITS) - 1
+_PACK_DGROUP_SHIFT = _PACK_FRAME_BITS
+_PACK_DGROUP_MASK = 0xF
+_PACK_DIRTY = 1 << 28
+_PACK_PENDING_SHIFT = 29
+#: Everything except the pending-hits counter.
+_PACK_BELOW_PENDING = (1 << _PACK_PENDING_SHIFT) - 1
 
 
 class NuRAPIDCache:
@@ -82,7 +101,19 @@ class NuRAPIDCache:
         if self.geometry.sets != config.n_sets:
             raise ConfigurationError("geometry and config disagree on sets")
 
-        self._tags: List[Dict[int, TagEntry]] = [dict() for _ in range(config.n_sets)]
+        if config.frames_per_dgroup > _PACK_FRAME_MASK:
+            raise ConfigurationError("d-group too large for packed tag entries")
+        if config.n_dgroups > _PACK_DGROUP_MASK:
+            raise ConfigurationError("too many d-groups for packed tag entries")
+        # Address decomposition, pre-reduced to shift/mask form (the
+        # config's n_sets is a computed property and the shared helpers
+        # re-validate per call — too hot for the access path).
+        self._n_sets = config.n_sets
+        self._block_mask = ~(config.block_bytes - 1)
+        self._set_shift = config.block_bytes.bit_length() - 1
+        self._set_mask = self._n_sets - 1
+        #: Per-set tag array: block address -> packed entry int.
+        self._tags: List[Dict[int, int]] = [dict() for _ in range(config.n_sets)]
         self._data_lru: List[LRUPolicy] = [LRUPolicy() for _ in range(config.n_sets)]
         self._stores = [
             FrameStore(config.frames_per_dgroup, config.n_regions)
@@ -139,7 +170,9 @@ class NuRAPIDCache:
     # --- address helpers ---
 
     def _set_of(self, address: int) -> int:
-        return set_index(address, self.block_bytes, self.config.n_sets)
+        # == set_index(address, self.block_bytes, n_sets) for the
+        # non-negative addresses traces carry.
+        return (address >> self._set_shift) & self._set_mask
 
     def _region_of(self, address: int) -> int:
         # Regions are selected by set-index bits so that each region's
@@ -150,16 +183,30 @@ class NuRAPIDCache:
     # --- lookups ---
 
     def lookup(self, address: int) -> Optional[TagEntry]:
-        """Tag entry for ``address`` if resident (no side effects)."""
+        """Tag-entry snapshot for ``address`` if resident (no side effects)."""
         baddr = block_address(address, self.block_bytes)
-        return self._tags[self._set_of(address)].get(baddr)
+        packed = self._tags[self._set_of(address)].get(baddr)
+        if packed is None:
+            return None
+        return TagEntry(
+            block_addr=baddr,
+            dirty=bool(packed & _PACK_DIRTY),
+            dgroup=(packed >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK,
+            frame=packed & _PACK_FRAME_MASK,
+            pending_hits=packed >> _PACK_PENDING_SHIFT,
+        )
 
     def contains(self, address: int) -> bool:
-        return self.lookup(address) is not None
+        baddr = block_address(address, self.block_bytes)
+        return baddr in self._tags[self._set_of(address)]
 
     def dgroup_of(self, address: int) -> Optional[int]:
-        entry = self.lookup(address)
-        return None if entry is None else entry.dgroup
+        packed = self._tags[self._set_of(address)].get(
+            block_address(address, self.block_bytes)
+        )
+        if packed is None:
+            return None
+        return (packed >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK
 
     # --- the access path ---
 
@@ -168,13 +215,14 @@ class NuRAPIDCache:
         if self.fault_injector is not None:
             for event in self.fault_injector.take_due_hard_faults():
                 self._apply_hard_fault(event)
-        baddr = block_address(address, self.block_bytes)
-        index = self._set_of(address)
-        entry = self._tags[index].get(baddr)
+        baddr = address & self._block_mask
+        index = (address >> self._set_shift) & self._set_mask
+        tag_set = self._tags[index]
+        packed = tag_set.get(baddr)
         self.stats.add("accesses")
         energy = self.energy.charge(f"{self.name}.tag_probe")
 
-        if entry is None:
+        if packed is None:
             # Sequential tag-data access: the (pipelined) tag probe
             # alone determines a miss; the data port is never touched.
             if self.fault_injector is not None:
@@ -191,12 +239,14 @@ class NuRAPIDCache:
                 energy_nj=energy,
             )
 
-        group = entry.dgroup
+        group = (packed >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK
         if self.fault_injector is not None:
             # May raise UncorrectableDataError for a dirty-line DUE;
-            # `entry.dirty` is the pre-write state, which is what the
+            # the dirty bit is the pre-write state, which is what the
             # read-modify-write of the ECC word actually sees.
-            outcome = self.fault_injector.on_access(True, entry.dirty, address)
+            outcome = self.fault_injector.on_access(
+                True, bool(packed & _PACK_DIRTY), address
+            )
             if outcome is TransientOutcome.REFETCH:
                 # The d-group read that detected the error is paid; the
                 # clean line is dropped and refetched from below.
@@ -204,7 +254,7 @@ class NuRAPIDCache:
                 self.stats.add("dgroup_accesses")
                 self.stats.add("fault_refetches")
                 self.stats.add("misses")
-                self._invalidate_frame(group, entry.frame)
+                self._invalidate_frame(group, packed & _PACK_FRAME_MASK)
                 if self.telemetry is not None:
                     self.telemetry.on_access(
                         baddr, False, None, float(self.geometry.hit_latency(group))
@@ -221,10 +271,11 @@ class NuRAPIDCache:
         energy += self.energy.charge(f"{self.name}.dg{group}.{op}")
         self.stats.add("dgroup_accesses")
         if is_write:
-            entry.dirty = True
+            packed |= _PACK_DIRTY
+            tag_set[baddr] = packed
 
         self._data_lru[index].touch(baddr)
-        self._replacer.touch(group, self._region_of(address), entry.frame)
+        self._replacer.touch(group, self._region_of(address), packed & _PACK_FRAME_MASK)
 
         if self.config.ideal_uniform:
             latency: float = self.geometry.hit_latency(0)
@@ -244,15 +295,22 @@ class NuRAPIDCache:
             self.telemetry.on_access(baddr, True, group, latency)
 
         if group > 0 and self.config.promotion is not PromotionPolicy.DEMOTION_ONLY:
-            entry.pending_hits += 1
-            if entry.pending_hits >= self.config.promotion_hysteresis:
-                entry.pending_hits = 0
+            pending = (packed >> _PACK_PENDING_SHIFT) + 1
+            if pending >= self.config.promotion_hysteresis:
+                packed &= _PACK_DIRTY | _PACK_FRAME_MASK | (
+                    _PACK_DGROUP_MASK << _PACK_DGROUP_SHIFT
+                )
+                tag_set[baddr] = packed
                 target = (
                     group - 1
                     if self.config.promotion is PromotionPolicy.NEXT_FASTEST
                     else 0
                 )
-                self._promote(entry, target, done)
+                self._promote(index, baddr, packed, target, done)
+            else:
+                tag_set[baddr] = (
+                    (packed & _PACK_BELOW_PENDING) | (pending << _PACK_PENDING_SHIFT)
+                )
 
         return AccessResult(
             hit=True,
@@ -271,12 +329,18 @@ class NuRAPIDCache:
 
     # --- promotion (swap with a distance-replacement victim) ---
 
-    def _promote(self, entry: TagEntry, target: int, now: float) -> None:
-        """Move ``entry`` to ``target``, swapping with a victim if full."""
-        source = entry.dgroup
+    def _promote(
+        self, index: int, baddr: int, packed: int, target: int, now: float
+    ) -> None:
+        """Move ``baddr`` to ``target``, swapping with a victim if full.
+
+        ``packed`` is the block's current tag entry (pending hits
+        already cleared by the caller and stored back).
+        """
+        source = (packed >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK
         if target >= source:
             raise SimulationError(f"promotion must move inward ({source}->{target})")
-        region = self._region_of(entry.block_addr)
+        region = self._region_of(baddr)
         if (
             self.fault_injector is not None
             and not self._stores[target].has_free(region)
@@ -289,16 +353,20 @@ class NuRAPIDCache:
         self.stats.add("promotions")
         if self.telemetry is not None:
             self.telemetry.event(
-                "promotion", addr=entry.block_addr, src=source, dst=target, cycle=now
+                "promotion", addr=baddr, src=source, dst=target, cycle=now
             )
 
+        old_frame = packed & _PACK_FRAME_MASK
+        dirty_bit = packed & _PACK_DIRTY
         if self._stores[target].has_free(region):
             # Room in the faster group: a one-way move, no demotion.
-            self._stores[source].release(entry.frame)
-            self._replacer.remove(source, region, entry.frame)
-            new_frame = self._stores[target].allocate(entry.block_addr, region)
+            self._stores[source].release(old_frame)
+            self._replacer.remove(source, region, old_frame)
+            new_frame = self._stores[target].allocate(baddr, region)
             self._replacer.insert(target, region, new_frame)
-            entry.dgroup, entry.frame = target, new_frame
+            self._tags[index][baddr] = (
+                new_frame | (target << _PACK_DGROUP_SHIFT) | dirty_bit
+            )
             self._charge_move(source, target, now)
             return
 
@@ -306,15 +374,20 @@ class NuRAPIDCache:
         victim_addr = self._stores[target].occupant(victim_frame)
         if victim_addr is None:
             raise SimulationError("distance victim frame is unexpectedly free")
-        victim_entry = self._tags[self._set_of(victim_addr)][victim_addr]
+        victim_set = self._tags[self._set_of(victim_addr)]
 
-        # Swap occupants; both frames stay occupied.
-        self._stores[target].replace(victim_frame, entry.block_addr)
-        self._stores[source].replace(entry.frame, victim_addr)
-        victim_entry.dgroup, victim_entry.frame = source, entry.frame
-        victim_entry.pending_hits = 0
-        old_frame = entry.frame
-        entry.dgroup, entry.frame = target, victim_frame
+        # Swap occupants; both frames stay occupied.  The demoted
+        # victim keeps its dirty bit but restarts promotion hysteresis.
+        self._stores[target].replace(victim_frame, baddr)
+        self._stores[source].replace(old_frame, victim_addr)
+        victim_set[victim_addr] = (
+            old_frame
+            | (source << _PACK_DGROUP_SHIFT)
+            | (victim_set[victim_addr] & _PACK_DIRTY)
+        )
+        self._tags[index][baddr] = (
+            victim_frame | (target << _PACK_DGROUP_SHIFT) | dirty_bit
+        )
 
         # Recency: the promoted block is MRU in its new group; the
         # demoted victim enters the slower group as a fresh arrival.
@@ -354,12 +427,12 @@ class NuRAPIDCache:
         enters d-group 0, pushing a demotion chain outward until a free
         frame absorbs it.
         """
-        baddr = block_address(address, self.block_bytes)
-        index = self._set_of(address)
+        baddr = address & self._block_mask
+        index = (address >> self._set_shift) & self._set_mask
         resident = self._tags[index]
         if baddr in resident:
             return 0
-        region = self._region_of(address)
+        region = index % self.config.n_regions
         self.stats.add("fills")
 
         writebacks = 0
@@ -367,23 +440,24 @@ class NuRAPIDCache:
         if set_evicted:
             victim_addr = self._data_lru[index].pop_victim()
             victim = resident.pop(victim_addr)
-            self._stores[victim.dgroup].release(victim.frame)
-            self._replacer.remove(victim.dgroup, region, victim.frame)
+            victim_group = (victim >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK
+            self._stores[victim_group].release(victim & _PACK_FRAME_MASK)
+            self._replacer.remove(victim_group, region, victim & _PACK_FRAME_MASK)
             self.stats.add("evictions")
             if self.telemetry is not None:
                 self.telemetry.event(
-                    "eviction", addr=victim_addr, dgroup=victim.dgroup, cycle=now
+                    "eviction", addr=victim_addr, dgroup=victim_group, cycle=now
                 )
-            if victim.dirty:
+            if victim & _PACK_DIRTY:
                 writebacks = 1
                 self.stats.add("writebacks")
                 # Reading the victim out for writeback is a d-group read;
                 # it drains through the writeback buffer off the port.
-                self.energy.charge(f"{self.name}.dg{victim.dgroup}.read")
+                self.energy.charge(f"{self.name}.dg{victim_group}.read")
                 self.stats.add("dgroup_accesses")
                 if self.telemetry is not None:
                     self.telemetry.event(
-                        "writeback", addr=victim_addr, dgroup=victim.dgroup, cycle=now
+                        "writeback", addr=victim_addr, dgroup=victim_group, cycle=now
                     )
         elif self.fault_injector is not None and not self._region_has_free(region):
             # Hard-fault retirement left fewer usable frames than the
@@ -394,7 +468,7 @@ class NuRAPIDCache:
         # Demotion chain: push occupants outward until a free frame.
         group = 0
         incoming = baddr
-        incoming_entry: Optional[TagEntry] = None  # created below for baddr
+        incoming_packed: Optional[int] = None  # created below for baddr
         while not self._stores[group].has_free(region):
             if (
                 self.fault_injector is not None
@@ -412,9 +486,9 @@ class NuRAPIDCache:
             demoted_addr = self._stores[group].replace(frame, incoming)
             self._replacer.remove(group, region, frame)
             self._replacer.insert(group, region, frame)
-            self._settle(incoming, incoming_entry, group, frame)
-            demoted_entry = self._tags[self._set_of(demoted_addr)][demoted_addr]
-            incoming, incoming_entry = demoted_addr, demoted_entry
+            self._settle(incoming, incoming_packed, group, frame)
+            demoted_packed = self._tags[self._set_of(demoted_addr)][demoted_addr]
+            incoming, incoming_packed = demoted_addr, demoted_packed
             group += 1
             if group >= self.config.n_dgroups:
                 raise SimulationError(
@@ -429,63 +503,71 @@ class NuRAPIDCache:
             self._charge_move(group - 1, group, now, occupy=False)
         frame = self._stores[group].allocate(incoming, region)
         self._replacer.insert(group, region, frame)
-        self._settle(incoming, incoming_entry, group, frame)
+        self._settle(incoming, incoming_packed, group, frame)
 
         # The new block's own fill write into d-group 0 (fill buffer;
         # no demand-port occupancy).
         self.energy.charge(f"{self.name}.dg0.write")
         self.stats.add("dgroup_accesses")
 
-        entry = self._tags[index].get(baddr)
-        if entry is None:
+        packed = self._tags[index].get(baddr)
+        if packed is None:
             raise SimulationError("fill finished without installing the block")
-        entry.dirty = dirty
+        if dirty:
+            self._tags[index][baddr] = packed | _PACK_DIRTY
         if self.telemetry is not None:
             self.telemetry.event(
-                "placement", addr=baddr, dgroup=entry.dgroup, cycle=now
+                "placement",
+                addr=baddr,
+                dgroup=(packed >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK,
+                cycle=now,
             )
         return writebacks
 
     def _settle(
         self,
         block_addr: int,
-        entry: Optional[TagEntry],
+        packed: Optional[int],
         dgroup: int,
         frame: int,
     ) -> None:
         """Point a block's tag entry at its (possibly new) frame.
 
-        ``entry`` is None exactly for the incoming block on its first
-        placement, in which case the tag entry is created here.
+        ``packed`` is None exactly for the incoming block on its first
+        placement, in which case the tag entry is created here (clean,
+        no pending hits).  A relocated block keeps its dirty bit but
+        restarts promotion hysteresis.
         """
-        if entry is None:
-            index = self._set_of(block_addr)
-            new_entry = TagEntry(
-                block_addr=block_addr, dirty=False, dgroup=dgroup, frame=frame
-            )
-            self._tags[index][block_addr] = new_entry
+        index = self._set_of(block_addr)
+        if packed is None:
+            self._tags[index][block_addr] = frame | (dgroup << _PACK_DGROUP_SHIFT)
             self._data_lru[index].insert(block_addr)
         else:
-            entry.dgroup, entry.frame = dgroup, frame
-            entry.pending_hits = 0
+            self._tags[index][block_addr] = (
+                frame | (dgroup << _PACK_DGROUP_SHIFT) | (packed & _PACK_DIRTY)
+            )
 
     # --- fault handling: invalidation, capacity eviction, retirement ---
 
     def _region_has_free(self, region: int) -> bool:
         return any(store.has_free(region) for store in self._stores)
 
-    def _invalidate_frame(self, dgroup: int, frame: int) -> TagEntry:
-        """Drop the block resident in ``frame`` without writeback."""
+    def _invalidate_frame(self, dgroup: int, frame: int) -> int:
+        """Drop the block resident in ``frame`` without writeback.
+
+        Returns the dropped block's packed tag entry (so callers can
+        check its dirty bit).
+        """
         store = self._stores[dgroup]
         addr = store.occupant(frame)
         if addr is None:
             raise SimulationError(f"invalidate of free frame {frame} in dg{dgroup}")
         index = self._set_of(addr)
-        entry = self._tags[index].pop(addr)
+        packed = self._tags[index].pop(addr)
         self._data_lru[index].remove(addr)
         store.release(frame)
         self._replacer.remove(dgroup, self._region_of(addr), frame)
-        return entry
+        return packed
 
     def _evict_for_space(self, region: int) -> int:
         """Evict a distance victim of ``region``; returns writebacks.
@@ -503,10 +585,10 @@ class NuRAPIDCache:
             ):
                 continue
             frame = self._replacer.select_victim(group, region)
-            entry = self._invalidate_frame(group, frame)
+            packed = self._invalidate_frame(group, frame)
             self.stats.add("evictions")
             self.stats.add("fault_capacity_evictions")
-            if entry.dirty:
+            if packed & _PACK_DIRTY:
                 self.stats.add("writebacks")
                 self.energy.charge(f"{self.name}.dg{group}.read")
                 self.stats.add("dgroup_accesses")
@@ -540,9 +622,9 @@ class NuRAPIDCache:
             if store.is_retired(frame):
                 continue
             if store.occupant(frame) is not None:
-                entry = self._invalidate_frame(dgroup, frame)
+                packed = self._invalidate_frame(dgroup, frame)
                 self.stats.add("fault_lines_lost")
-                if entry.dirty:
+                if packed & _PACK_DIRTY:
                     self.stats.add("fault_dirty_lines_lost")
             store.retire(frame)
             self.stats.add("fault_frames_retired")
@@ -579,17 +661,41 @@ class NuRAPIDCache:
                 "prewarm requires associativity divisible by d-groups"
             )
         sets = self.config.n_sets
+        n_regions = self.config.n_regions
+        bb = self.block_bytes
+        base = self.PREWARM_BASE
+        ways_per_group = assoc // n_dgroups
+
+        # Bulk equivalent of the block-at-a-time loop (for index, for
+        # way: allocate + insert + tag + LRU-insert).  Frames come off
+        # each region's free-list tail, so the per-(group, region)
+        # allocation order below — set index ascending, way ascending —
+        # reproduces the exact same frame assignment and policy order;
+        # allocate_run/insert_many are one-call equivalents.
+        for group in range(n_dgroups):
+            ways = range(group * ways_per_group, (group + 1) * ways_per_group)
+            group_bits = group << _PACK_DGROUP_SHIFT
+            for region in range(n_regions):
+                indices = range(region, sets, n_regions)
+                blocks = [
+                    base + (way * sets + index) * bb
+                    for index in indices
+                    for way in ways
+                ]
+                frames = self._stores[group].allocate_run(blocks, region)
+                self._replacer.insert_many(group, region, frames)
+                k = 0
+                for index in indices:
+                    tag_set = self._tags[index]
+                    for _ in ways:
+                        tag_set[blocks[k]] = frames[k] | group_bits
+                        k += 1
+        # Per-set data LRU: dummies way-ascending, as the original
+        # per-way loop inserted them.
         for index in range(sets):
-            region = index % self.config.n_regions
-            for way in range(assoc):
-                baddr = self.PREWARM_BASE + (way * sets + index) * self.block_bytes
-                group = way * n_dgroups // assoc
-                frame = self._stores[group].allocate(baddr, region)
-                self._replacer.insert(group, region, frame)
-                self._tags[index][baddr] = TagEntry(
-                    block_addr=baddr, dirty=False, dgroup=group, frame=frame
-                )
-                self._data_lru[index].insert(baddr)
+            self._data_lru[index].insert_many(
+                base + (way * sets + index) * bb for way in range(assoc)
+            )
 
     # --- introspection / verification ---
 
@@ -618,17 +724,19 @@ class NuRAPIDCache:
                 raise SimulationError(f"set {index} over associativity")
             if len(self._data_lru[index]) != len(tag_set):
                 raise SimulationError(f"set {index} LRU/tag size mismatch")
-            for baddr, entry in tag_set.items():
+            for baddr, packed in tag_set.items():
                 resident += 1
                 if self._set_of(baddr) != index:
                     raise SimulationError(f"block {baddr:#x} in wrong set")
-                occupant = self._stores[entry.dgroup].occupant(entry.frame)
+                dgroup = (packed >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK
+                frame = packed & _PACK_FRAME_MASK
+                occupant = self._stores[dgroup].occupant(frame)
                 if occupant != baddr:
                     raise SimulationError(
                         f"forward pointer of {baddr:#x} disagrees with frame"
                     )
                 region = self._region_of(baddr)
-                if self._stores[entry.dgroup].region_of_frame(entry.frame) != region:
+                if self._stores[dgroup].region_of_frame(frame) != region:
                     raise SimulationError(f"block {baddr:#x} outside its region")
         for store in self._stores:
             store.check_invariants()

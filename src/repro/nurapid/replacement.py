@@ -56,6 +56,10 @@ class DistanceReplacer:
         """Track a newly occupied frame (as most recently used)."""
         self._policy(dgroup, region).insert(frame)
 
+    def insert_many(self, dgroup: int, region: int, frames: List[int]) -> None:
+        """Track ``frames`` in order; equivalent to ``insert`` per frame."""
+        self._policy(dgroup, region).insert_many(frames)
+
     def remove(self, dgroup: int, region: int, frame: int) -> None:
         """Stop tracking a frame whose occupant left the d-group."""
         self._policy(dgroup, region).remove(frame)

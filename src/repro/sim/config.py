@@ -15,6 +15,7 @@ at 130 + 4/8B cycles — and differs only in what sits below the L1s:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -38,6 +39,22 @@ from repro.nurapid.config import (
 KB = 1024
 MB = 1024 * 1024
 
+#: Replay engines (see :mod:`repro.sim.fastpath`).  Both are
+#: bit-identical; "fast" is the array-backed fused kernel, "legacy"
+#: the original per-object loop kept as the parity reference.
+ENGINES = ("legacy", "fast")
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Pick the replay engine: explicit setting, else $REPRO_ENGINE, else fast."""
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "").strip() or "fast"
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        )
+    return engine
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -52,8 +69,16 @@ class SystemConfig:
     #: Optional runtime fault campaign applied to the cache under study
     #: (the first level below the L1s).  None disables all fault hooks.
     faults: Optional[FaultPlan] = None
+    #: Replay engine: "legacy" | "fast" | None (= $REPRO_ENGINE, else
+    #: "fast").  Both engines are bit-identical; see repro.sim.fastpath.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{', '.join(ENGINES)}"
+            )
         if self.l2_kind not in {"base", "nurapid", "dnuca", "sa-nuca", "s-nuca"}:
             raise ConfigurationError(f"unknown l2_kind {self.l2_kind!r}")
         if self.l2_kind == "nurapid" and self.nurapid is None:

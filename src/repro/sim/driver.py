@@ -17,7 +17,8 @@ from typing import Dict, Iterable, List, Optional
 from repro.common.errors import ConfigurationError
 from repro.cpu.core import CoreModel
 from repro.cpu.wattch import ProcessorEnergyModel
-from repro.sim.config import SystemConfig, build_system
+from repro.sim import fastpath
+from repro.sim.config import SystemConfig, build_system, resolve_engine
 from repro.sim.results import RunResult, SuiteResult
 from repro.telemetry import (
     LATENCY_BOUNDS,
@@ -84,16 +85,38 @@ def make_system(config: SystemConfig, prewarm: bool = True) -> System:
     )
 
 
-def _replay(system: System, core: CoreModel, trace: Trace) -> None:
-    """The hot loop: advance the core and walk the hierarchy."""
+def _replay(
+    system: System,
+    core: CoreModel,
+    trace: Trace,
+    engine: str = "legacy",
+    collect: Optional[List] = None,
+) -> None:
+    """The hot loop: advance the core and walk the hierarchy.
+
+    ``engine="fast"`` dispatches to the fused array-backed kernel
+    (:mod:`repro.sim.fastpath`), which is bit-identical to this loop.
+    ``collect`` receives every per-reference AccessResult (parity
+    tests only — it slows both engines down).
+    """
+    if engine == "fast":
+        fastpath.replay(system, core, trace, collect=collect)
+        return
     hierarchy = system.hierarchy
     advance = core.advance_instructions
     note = core.note_memory_result
     access = hierarchy.access_data
-    for gap, address, is_write in trace.records():
-        advance(gap)
-        result = access(address, is_write, core.cycle)
-        note(address, result)
+    if collect is None:
+        for gap, address, is_write in trace.records():
+            advance(gap)
+            result = access(address, is_write, core.cycle)
+            note(address, result)
+    else:
+        for gap, address, is_write in trace.records():
+            advance(gap)
+            result = access(address, is_write, core.cycle)
+            note(address, result)
+            collect.append(result)
 
 
 def _l2_stats(system: System) -> Dict[str, float]:
@@ -226,6 +249,7 @@ def run_benchmark(
         raise ConfigurationError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
         )
+    engine = resolve_engine(config.engine)
     session: Optional[Telemetry] = None
     if telemetry is not None and telemetry.enabled:
         session = Telemetry(telemetry, f"{config.name}/{benchmark}/s{seed}")
@@ -254,7 +278,7 @@ def run_benchmark(
     warm_core = new_core()
     if len(warm):
         with profiler.phase("warmup"):
-            _replay(system, warm_core, warm)
+            _replay(system, warm_core, warm, engine=engine)
     system.reset_stats()
 
     core = new_core()
@@ -265,7 +289,7 @@ def run_benchmark(
     if session is not None:
         _attach_telemetry(system, core, session)
     with profiler.phase("measure"):
-        _replay(system, core, measured)
+        _replay(system, core, measured, engine=engine)
 
     cycles = core.cycle - start_cycle
     instructions = core.instructions - start_instr

@@ -1,0 +1,311 @@
+"""Array-backed fast-path replay kernel.
+
+The legacy hot loop (:func:`repro.sim.driver._replay`) pays Python
+call overhead five times per reference — ``advance_instructions``,
+``hierarchy.access_data``, ``l1.access``, ``AccessResult(...)``,
+``note_memory_result`` — even though >90% of references are pipelined
+L1 hits whose entire architectural effect is a handful of int and
+float updates.  This module fuses the whole per-reference chain into
+one loop over a pre-decoded trace (:meth:`Trace.decoded`): the L1
+probe indexes the flat tag array of
+:class:`~repro.caches.simple.SetAssociativeCache` directly, counters
+are accumulated in locals and committed once at the end, and only L1
+misses drop into the (method-dispatched) lower-hierarchy walk.
+
+Bit-identity contract
+---------------------
+
+The kernel replays the *exact* float-operation sequence of the legacy
+path: ``advance_instructions`` and ``note_memory_result`` are inlined
+op by op (no reassociation, no pre-multiplied constants), lower-level
+caches are driven through the same ``access``/``fill`` methods at the
+same ``now`` values, and integer counters are batched — which is
+exact — then flushed in a ``finally`` block so a mid-replay
+:class:`~repro.faults.models.UncorrectableDataError` leaves the same
+counter state behind as the legacy loop.  ``python -m repro.bench
+--engine-parity`` and ``tests/test_fastpath.py`` hold the two engines
+to byte-identical results and telemetry reports.
+
+When the fused loop's preconditions do not hold (an L1 fault
+injector, a non-2-way L1, or an L1 whose latency/block size disagrees
+with the core's constants), the kernel falls back to a generic loop
+with legacy semantics, so ``engine="fast"`` is always safe to select.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.types import AccessResult
+
+
+def replay(system, core, trace, collect: Optional[List[AccessResult]] = None) -> None:
+    """Replay ``trace`` through ``system``/``core``, fast and bit-identical.
+
+    ``collect``, if given, receives the per-reference
+    :class:`AccessResult` exactly as the legacy loop would observe it
+    (used by the parity tests; adds one branch per reference).
+    """
+    l1 = system.l1d
+    params = core.params
+    if (
+        l1.fault_injector is not None
+        or getattr(l1, "_assoc", None) != 2
+        or l1.spec.latency_cycles != params.l1_hit_cycles
+        or l1.spec.block_bytes != params.l1_block_bytes
+    ):
+        replay_generic(system, core, trace, collect)
+        return
+
+    hierarchy = system.hierarchy
+    memory = system.memory
+    lower = hierarchy.lower
+    decoded = trace.decoded(l1.spec.block_bytes, l1.n_sets)
+
+    # L1 state, hoisted to locals (the lists are shared in place; the
+    # clock is written back on flush and synced around l1.fill calls).
+    tags = l1._tags
+    dirty = l1._dirty
+    stamps = l1._stamps
+    clock = l1._clock
+    l1_lat = l1.spec.latency_cycles
+    l1_lat_f = float(l1_lat)
+    l1_name = l1.name
+    l1_energy = l1.energy
+    read_cost = l1_energy.cost(f"{l1_name}.read")
+    write_cost = l1_energy.cost(f"{l1_name}.write")
+    l1_telem = l1.telemetry
+    l1_fill = l1.fill
+
+    # Core state: the same scalars advance_instructions and
+    # note_memory_result mutate, accumulated locally in the same order.
+    ipc = core.core_ipc
+    bf = core.branch_fraction
+    mr = core.mispredict_rate
+    mp = params.mispredict_penalty
+    exposure = core.exposure
+    mlp_discount = params.memory_mlp_discount
+    mshr = core.mshrs
+    mshr_retire = mshr.retire_completed
+    mshr_lookup = mshr.lookup
+    cycle = core.cycle
+    instructions = core.instructions
+    memory_accesses = core.memory_accesses
+    bp = core.branch_penalty_cycles
+    stall = core.stall_cycles
+    mshr_stall = core.mshr_stall_cycles
+
+    # Miss-path plumbing.
+    stats = hierarchy.stats
+    hist = hierarchy.miss_latency_hist
+    first = lower[0]
+    mem_lat = memory.transfer_cycles(lower[-1].block_bytes)
+    lvl_names = [level.name for level in lower]
+    n_lower = len(lower)
+
+    # Batched integer counters (int batching is exact; flushed below).
+    n_reads = n_writes = 0
+    n_hits = n_misses = 0
+    n_refs = 0
+    n_l1_wb = n_l1_wb_mem = 0
+    n_mem_reads = n_mem_writes = 0
+    lvl_acc = [0] * n_lower
+    lvl_hits = [0] * n_lower
+    lvl_wb = [0] * n_lower
+
+    try:
+        for gap, address, baddr, index, is_write in zip(
+            decoded.gaps,
+            decoded.addresses,
+            decoded.block_addrs,
+            decoded.set_indices,
+            decoded.writes,
+        ):
+            # advance_instructions, inlined (same float-op sequence).
+            instructions += gap
+            cycle += gap / ipc
+            penalty = gap * bf * mr * mp
+            bp += penalty
+            cycle += penalty
+            n_refs += 1
+            if is_write:
+                n_writes += 1
+            else:
+                n_reads += 1
+
+            # Inline 2-way L1 probe on the flat tag array.
+            frame = index + index
+            if tags[frame] != baddr:
+                if tags[frame + 1] == baddr:
+                    frame += 1
+                else:
+                    frame = -1
+            if frame >= 0:
+                # L1 hit: pipelined into the core IPC — touch LRU,
+                # maybe set dirty, and the reference is fully retired.
+                n_hits += 1
+                stamps[frame] = clock
+                clock += 1
+                if is_write:
+                    dirty[frame] = 1
+                if l1_telem is not None:
+                    l1_telem.on_access(baddr, True, None, l1_lat_f)
+                if collect is not None:
+                    collect.append(
+                        AccessResult(
+                            hit=True,
+                            latency=l1_lat,
+                            level=l1_name,
+                            energy_nj=write_cost if is_write else read_cost,
+                        )
+                    )
+                continue
+
+            # L1 miss: CacheHierarchy._access, inlined.
+            n_misses += 1
+            if l1_telem is not None:
+                l1_telem.on_access(baddr, False, None, l1_lat_f)
+            total_latency = l1_lat
+            energy = write_cost if is_write else read_cost
+            level_name = "memory"
+            dgroup = None
+            missed: Optional[List[int]] = None
+            supplied = False
+            i = 0
+            for level in lower:
+                r = level.access(address, is_write=False, now=cycle + total_latency)
+                total_latency += r.latency
+                energy += r.energy_nj
+                lvl_acc[i] += 1
+                if r.hit:
+                    level_name = r.level or lvl_names[i]
+                    dgroup = r.dgroup
+                    lvl_hits[i] += 1
+                    supplied = True
+                    break
+                if missed is None:
+                    missed = [i]
+                else:
+                    missed.append(i)
+                i += 1
+            if not supplied:
+                n_mem_reads += 1
+                total_latency += mem_lat
+
+            fill_time = cycle + total_latency
+            if missed is not None:
+                for j in reversed(missed):
+                    dirty_out = lower[j].fill(address, now=fill_time, dirty=False)
+                    if dirty_out:
+                        n_mem_writes += dirty_out
+                        lvl_wb[j] += dirty_out
+            l1._clock = clock
+            victim = l1_fill(address, dirty=is_write)
+            clock = l1._clock
+            if victim is not None and victim.dirty:
+                # _writeback_from_l1, inlined.
+                n_l1_wb += 1
+                rw = first.access(victim.block_addr, is_write=True, now=fill_time)
+                lvl_acc[0] += 1
+                if rw.hit:
+                    lvl_hits[0] += 1
+                else:
+                    n_mem_writes += 1
+                    n_l1_wb_mem += 1
+            if hist is not None:
+                hist.record(total_latency)
+            if collect is not None:
+                collect.append(
+                    AccessResult(
+                        hit=False,
+                        latency=total_latency,
+                        level=level_name,
+                        dgroup=dgroup,
+                        energy_nj=energy,
+                    )
+                )
+
+            # note_memory_result, inlined (same float-op sequence).
+            beyond_l1 = total_latency - l1_lat
+            if beyond_l1 <= 0:
+                continue
+            mshr_retire(cycle)
+            if mshr.full:
+                wait_until = mshr.earliest_fill()
+                mshr_stall += wait_until - cycle
+                cycle = wait_until
+                mshr_retire(cycle)
+                mshr.note_full_stall()
+            exp = exposure
+            if level_name == "memory":
+                exp *= mlp_discount
+            exposed = beyond_l1 * exp
+            stall += exposed
+            cycle += exposed
+            fill_at = cycle + beyond_l1 * (1.0 - exposure)
+            if mshr_lookup(baddr) is not None:
+                mshr.merge(baddr)
+            else:
+                mshr.allocate(baddr, cycle, fill_at)
+    finally:
+        # Commit batched state.  Runs on an UncorrectableDataError too,
+        # so a killed fault run leaves legacy-identical counters behind.
+        l1._clock = clock
+        l1.hits += n_hits
+        l1.misses += n_misses
+        if n_reads:
+            l1_energy.charge(f"{l1_name}.read", n_reads)
+        if n_writes:
+            l1_energy.charge(f"{l1_name}.write", n_writes)
+        core.commit_batch(
+            cycle=cycle,
+            instructions=instructions,
+            memory_accesses=memory_accesses + n_refs,
+            branch_penalty_cycles=bp,
+            stall_cycles=stall,
+            mshr_stall_cycles=mshr_stall,
+        )
+        if n_refs:
+            stats.add("l1_accesses", n_refs)
+        if n_hits:
+            stats.add("l1_hits", n_hits)
+        for i in range(n_lower):
+            if lvl_acc[i]:
+                stats.add(lvl_names[i] + "_accesses", lvl_acc[i])
+            if lvl_hits[i]:
+                stats.add(lvl_names[i] + "_hits", lvl_hits[i])
+            if lvl_wb[i]:
+                stats.add(lvl_names[i] + "_writebacks", lvl_wb[i])
+        if n_l1_wb:
+            stats.add("l1_writebacks", n_l1_wb)
+        if n_l1_wb_mem:
+            stats.add("l1_writebacks_to_memory", n_l1_wb_mem)
+        if n_mem_reads:
+            stats.add("memory_reads", n_mem_reads)
+        memory.reads += n_mem_reads
+        memory.writes += n_mem_writes
+
+
+def replay_generic(
+    system, core, trace, collect: Optional[List[AccessResult]] = None
+) -> None:
+    """Legacy-semantics loop for systems the fused kernel cannot take.
+
+    Identical behaviour to the legacy engine (method dispatch per
+    reference); used when the L1 carries a fault injector or deviates
+    from the core's L1 constants.
+    """
+    hierarchy = system.hierarchy
+    advance = core.advance_instructions
+    note = core.note_memory_result
+    access = hierarchy.access_data
+    if collect is None:
+        for gap, address, is_write in trace.records():
+            advance(gap)
+            note(address, access(address, is_write, core.cycle))
+    else:
+        for gap, address, is_write in trace.records():
+            advance(gap)
+            result = access(address, is_write, core.cycle)
+            note(address, result)
+            collect.append(result)

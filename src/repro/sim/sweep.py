@@ -49,6 +49,7 @@ import os
 import shutil
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -212,6 +213,14 @@ class Sweep:
             raise ConfigurationError("point_budget_s must be positive")
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        cpus = os.cpu_count() or 1
+        if jobs > cpus:
+            warnings.warn(
+                f"Sweep(jobs={jobs}) oversubscribes {cpus} CPUs; workers will "
+                "time-slice and wall-clock speedup will degrade",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ConfigurationError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"

@@ -12,11 +12,35 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DecodedTrace:
+    """A trace pre-decoded into plain Python lists for the hot loop.
+
+    ``records()`` boxes every numpy scalar on the fly; the fast replay
+    engine instead decodes the whole trace once (``.tolist()`` is a
+    single C-level pass) and pre-computes the L1 block addresses and
+    set indices vectorized over the full columns, so the per-reference
+    loop does zero numpy scalar boxing and zero repeated shift/mask
+    work.
+    """
+
+    gaps: List[int]
+    addresses: List[int]
+    writes: List[bool]
+    #: Block addresses for the requested (block_bytes, n_sets) geometry.
+    block_addrs: List[int]
+    #: Set indices for the same geometry.
+    set_indices: List[int]
+
+    def __len__(self) -> int:
+        return len(self.gaps)
 
 
 @dataclass(frozen=True)
@@ -53,6 +77,35 @@ class Trace:
         addresses = self.addresses.tolist()
         writes = self.writes.tolist()
         return zip(gaps, addresses, writes)
+
+    def decoded(self, block_bytes: int, n_sets: int) -> DecodedTrace:
+        """One-shot decode for the fast replay engine.
+
+        Converts the columns to Python lists and pre-computes the
+        block address and set index of every reference for a cache
+        with ``block_bytes`` blocks over ``n_sets`` sets (vectorized;
+        bit-identical to calling :func:`~repro.caches.block.block_address`
+        and :func:`~repro.caches.block.set_index` per record).
+        """
+        if block_bytes <= 0 or block_bytes & (block_bytes - 1):
+            raise ConfigurationError(
+                f"block size must be a positive power of two, got {block_bytes}"
+            )
+        if n_sets <= 0 or n_sets & (n_sets - 1):
+            raise ConfigurationError(
+                f"set count must be a positive power of two, got {n_sets}"
+            )
+        addresses = np.asarray(self.addresses, dtype=np.int64)
+        baddrs = addresses & ~np.int64(block_bytes - 1)
+        shift = block_bytes.bit_length() - 1
+        indices = (addresses >> shift) & np.int64(n_sets - 1)
+        return DecodedTrace(
+            gaps=self.gaps.tolist(),
+            addresses=self.addresses.tolist(),
+            writes=self.writes.tolist(),
+            block_addrs=baddrs.tolist(),
+            set_indices=indices.tolist(),
+        )
 
     def head(self, n: int) -> "Trace":
         """First ``n`` records (used for warmup splits and quick runs)."""

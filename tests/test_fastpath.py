@@ -1,0 +1,274 @@
+"""Engine parity: the fast replay kernel against the legacy loop.
+
+The fast engine (:mod:`repro.sim.fastpath`) promises bit-identity, not
+statistical agreement: for every shipped configuration it must produce
+the same per-reference AccessResult sequence, the same result summary,
+the same telemetry report bytes, and the same fault-injection outcomes
+as the legacy loop.  These tests hold it to that across the config
+matrix and multiple seeds, including checkpointed parallel sweeps.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.errors import ConfigurationError, UncorrectableDataError
+from repro.cpu.core import CoreModel
+from repro.faults.models import FaultPlan, HardFaultEvent
+from repro.nurapid.config import DistanceReplacementKind, PromotionPolicy
+from repro.sim import fastpath
+from repro.sim.config import (
+    ENGINES,
+    SystemConfig,
+    base_config,
+    dnuca_config,
+    nurapid_config,
+    resolve_engine,
+    sa_nuca_config,
+    snuca_config,
+)
+from repro.sim.driver import _replay, make_system, run_benchmark
+from repro.sim.results import run_result_to_dict
+from repro.sim.sweep import Sweep, SweepAxis
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.report import merge_payloads, render_report
+from repro.workloads.spec2k import get_benchmark
+from repro.workloads.tracegen import generate_trace
+
+REFS = 6_000
+WARMUP = 0.25
+
+
+def shipped_configs():
+    return [
+        base_config(),
+        nurapid_config(),
+        nurapid_config(
+            n_dgroups=2,
+            promotion=PromotionPolicy.DEMOTION_ONLY,
+            distance_replacement=DistanceReplacementKind.LRU,
+        ),
+        nurapid_config(promotion_hysteresis=2),
+        dnuca_config(),
+        sa_nuca_config(),
+        snuca_config(),
+    ]
+
+
+_TRACES = {}
+
+
+def trace_for(benchmark, seed):
+    key = (benchmark, seed)
+    if key not in _TRACES:
+        _TRACES[key] = generate_trace(get_benchmark(benchmark), REFS, seed=seed)
+    return _TRACES[key]
+
+
+def run_dict(config, benchmark, seed, engine, telemetry=None):
+    result = run_benchmark(
+        replace(config, engine=engine),
+        benchmark,
+        n_references=REFS,
+        seed=seed,
+        warmup_fraction=WARMUP,
+        trace=trace_for(benchmark, seed),
+        telemetry=telemetry,
+    )
+    return run_result_to_dict(result)
+
+
+class TestEngineSelection:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine(None) == "fast"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "legacy")
+        assert resolve_engine(None) == "legacy"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "legacy")
+        assert resolve_engine("fast") == "fast"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("turbo")
+        with pytest.raises(ConfigurationError):
+            SystemConfig(name="x", l2_kind="base", engine="turbo")
+
+    def test_config_engine_field(self):
+        config = replace(snuca_config(), engine="legacy")
+        assert resolve_engine(config.engine) == "legacy"
+
+
+class TestResultParity:
+    @pytest.mark.parametrize(
+        "config", shipped_configs(), ids=lambda c: c.name
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_summary_identical(self, config, seed):
+        legacy = run_dict(config, "twolf", seed, "legacy")
+        fast = run_dict(config, "twolf", seed, "fast")
+        assert legacy == fast
+
+    @pytest.mark.parametrize(
+        "config",
+        [nurapid_config(), snuca_config()],
+        ids=lambda c: c.name,
+    )
+    def test_telemetry_report_byte_identical(self, config):
+        reports = {}
+        for engine in ENGINES:
+            payload = run_dict(
+                config, "galgel", 1, engine, telemetry=TelemetryConfig()
+            )
+            telem = payload.pop("telemetry")
+            reports[engine] = render_report(merge_payloads([("cell", telem)]))
+        assert reports["legacy"] == reports["fast"]
+        assert reports["fast"].startswith("== telemetry report ==")
+
+
+class TestAccessResultSequence:
+    @pytest.mark.parametrize(
+        "config",
+        [base_config(), nurapid_config(), snuca_config()],
+        ids=lambda c: c.name,
+    )
+    def test_per_reference_results_identical(self, config):
+        trace = trace_for("galgel", 0)
+        sequences = {}
+        for engine in ENGINES:
+            system = make_system(config)
+            profile = get_benchmark("galgel")
+            core = CoreModel(
+                params=config.core,
+                core_ipc=profile.core_ipc,
+                exposure=profile.exposure,
+                branch_fraction=profile.branch_fraction,
+                mispredict_rate=profile.mispredict_rate,
+            )
+            collected = []
+            _replay(system, core, trace, engine=engine, collect=collected)
+            sequences[engine] = collected
+        assert len(sequences["legacy"]) == len(trace)
+        assert sequences["legacy"] == sequences["fast"]
+
+
+class TestFaultParity:
+    def transient_config(self):
+        return nurapid_config(
+            faults=FaultPlan(
+                transient_per_access=2e-4,
+                seed=9,
+                hard_faults=(
+                    HardFaultEvent(at_access=1000, dgroup=0, subarray=1),
+                    HardFaultEvent(at_access=2000, dgroup=1, subarray=2),
+                ),
+            )
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fault_outcomes_identical(self, seed):
+        config = self.transient_config()
+        outcomes = {}
+        for engine in ENGINES:
+            try:
+                outcomes[engine] = ("ok", run_dict(config, "galgel", seed, engine))
+            except UncorrectableDataError as exc:
+                outcomes[engine] = ("due", str(exc))
+        assert outcomes["legacy"] == outcomes["fast"]
+
+    def test_uncorrectable_raises_in_both_engines(self):
+        # Wide upsets over a 2-word interleave defeat SEC-DED, so a
+        # dirty-line strike kills the run — identically, with the same
+        # message, under either engine.
+        config = nurapid_config(
+            faults=FaultPlan(
+                transient_per_access=5e-2,
+                max_upset_bits=4,
+                words_per_block=2,
+                interleave_subarrays=1,
+                seed=3,
+            )
+        )
+        errors = {}
+        for engine in ENGINES:
+            with pytest.raises(UncorrectableDataError) as info:
+                run_dict(config, "twolf", 3, engine)
+            errors[engine] = str(info.value)
+        assert errors["legacy"] == errors["fast"]
+
+
+class TestFallback:
+    def test_l1_fault_injector_falls_back(self, monkeypatch):
+        """An armed L1 must reroute to the generic loop, same results."""
+        calls = []
+        real_generic = fastpath.replay_generic
+
+        def counting(system, core, trace, collect=None):
+            calls.append("generic")
+            return real_generic(system, core, trace, collect)
+
+        monkeypatch.setattr(fastpath, "replay_generic", counting)
+        config = base_config()
+        trace = trace_for("twolf", 0)
+        profile = get_benchmark("twolf")
+
+        def run(arm):
+            system = make_system(config)
+            if arm:
+                system.l1d.attach_faults(FaultPlan(transient_per_access=0.0))
+            core = CoreModel(
+                params=config.core,
+                core_ipc=profile.core_ipc,
+                exposure=profile.exposure,
+                branch_fraction=profile.branch_fraction,
+                mispredict_rate=profile.mispredict_rate,
+            )
+            fastpath.replay(system, core, trace)
+            return core.cycle, core.instructions, system.l1d.hits
+
+        armed = run(arm=True)
+        assert calls == ["generic"]
+        fused = run(arm=False)
+        assert calls == ["generic"]  # the clean system took the fused loop
+        # A zero-rate plan is behaviourally inert: both paths agree.
+        assert armed == fused
+
+
+class TestSweepParity:
+    def sweep_results(self, engine, monkeypatch, **kw):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        points = Sweep(
+            axes=[SweepAxis("n_dgroups", (2, 4))],
+            build=lambda n_dgroups: nurapid_config(n_dgroups=n_dgroups),
+            benchmarks=["twolf"],
+            n_references=4_000,
+            **kw,
+        ).run()
+        return [
+            {b: run_result_to_dict(r) for b, r in point.runs.items()}
+            for point in points
+        ]
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")  # jobs=2 on 1 CPU
+    def test_checkpoint_resume_jobs2_matches_legacy_serial(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "ckpt.json")
+        legacy = self.sweep_results("legacy", monkeypatch)
+        fast = self.sweep_results(
+            "fast", monkeypatch, jobs=2, checkpoint_path=path, checkpoint_every=1
+        )
+        assert legacy == fast
+        # Resume from the completed checkpoint: cells load, nothing
+        # re-runs, results still match.
+        def boom(*a, **kw):
+            raise AssertionError("resume re-ran a checkpointed cell")
+
+        monkeypatch.setattr("repro.sim.sweep.run_benchmark", boom)
+        resumed = self.sweep_results(
+            "fast", monkeypatch, jobs=2, checkpoint_path=path
+        )
+        assert resumed == legacy
