@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 
 from dataclasses import replace as config_replace
 
+from repro.resilience.supervisor import SupervisorConfig, run_cells_supervised
 from repro.sim.config import ENGINES, SystemConfig, nurapid_config, resolve_engine, snuca_config
 from repro.sim.driver import run_benchmark
 from repro.sim.parallel import CellTask, run_cells
@@ -99,15 +100,14 @@ def _time_serial(
     }
 
 
-def _time_parallel(
+def _pool_tasks(
     configs: List[SystemConfig],
     benchmarks: List[str],
     trace_paths: Dict[str, str],
     refs: int,
     seed: int,
     warmup: float,
-    jobs: int,
-) -> Dict[str, object]:
+):
     cells = [(c, b) for c in configs for b in benchmarks]
     tasks = [
         CellTask(
@@ -122,8 +122,52 @@ def _time_parallel(
         )
         for i, (config, benchmark) in enumerate(cells)
     ]
+    return cells, tasks
+
+
+def _time_parallel(
+    configs: List[SystemConfig],
+    benchmarks: List[str],
+    trace_paths: Dict[str, str],
+    refs: int,
+    seed: int,
+    warmup: float,
+    jobs: int,
+) -> Dict[str, object]:
+    cells, tasks = _pool_tasks(
+        configs, benchmarks, trace_paths, refs, seed, warmup
+    )
     started = time.perf_counter()
     payloads = run_cells(tasks, jobs)
+    total = time.perf_counter() - started
+    results = {}
+    for payload in payloads:
+        config, benchmark = cells[payload["index"]]
+        results[(config.name, benchmark)] = payload["result"]
+    return {"total_s": round(total, 3), "results": results}
+
+
+def _time_supervised(
+    configs: List[SystemConfig],
+    benchmarks: List[str],
+    trace_paths: Dict[str, str],
+    refs: int,
+    seed: int,
+    warmup: float,
+    jobs: int,
+) -> Dict[str, object]:
+    """Same workload as :func:`_time_parallel`, through the supervisor.
+
+    No faults are injected, so this measures the pure supervision tax:
+    the worker pipes, deadline bookkeeping, and result plumbing that
+    :func:`repro.resilience.supervisor.run_cells_supervised` adds on
+    top of the plain pool.
+    """
+    cells, tasks = _pool_tasks(
+        configs, benchmarks, trace_paths, refs, seed, warmup
+    )
+    started = time.perf_counter()
+    payloads = run_cells_supervised(tasks, jobs, config=SupervisorConfig())
     total = time.perf_counter() - started
     results = {}
     for payload in payloads:
@@ -250,6 +294,21 @@ def main(argv=None) -> int:
         "and fail unless results and telemetry reports are identical",
     )
     parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="also time the workload through the supervised execution "
+        "layer (repro.resilience), verify results are bit-identical to "
+        "the serial pass, and record the overhead vs the plain pool",
+    )
+    parser.add_argument(
+        "--max-supervised-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="with --supervised, fail if the supervised pass is more than "
+        "this fraction slower than the plain parallel pass (e.g. 0.02)",
+    )
+    parser.add_argument(
         "--against",
         default=None,
         metavar="LEDGER_OR_LABEL",
@@ -313,6 +372,17 @@ def main(argv=None) -> int:
         parallel = _time_parallel(
             configs, benchmarks, trace_paths, args.refs, args.seed, args.warmup, jobs
         )
+        supervised: Optional[Dict[str, object]] = None
+        if args.supervised:
+            supervised = _time_supervised(
+                configs,
+                benchmarks,
+                trace_paths,
+                args.refs,
+                args.seed,
+                args.warmup,
+                jobs,
+            )
         instrumented: Optional[Dict[str, object]] = None
         if args.telemetry_overhead:
             instrumented = _time_serial(
@@ -357,6 +427,18 @@ def main(argv=None) -> int:
         "speedup": round(speedup, 3),
         "identical": identical,
     }
+    supervised_identical = True
+    if supervised is not None:
+        supervised_identical = serial["results"] == supervised["results"]
+        supervised_overhead = (
+            supervised["total_s"] / parallel["total_s"] - 1.0
+            if parallel["total_s"]
+            else 0.0
+        )
+        entry["supervised_s"] = supervised["total_s"]
+        entry["supervised_overhead"] = round(supervised_overhead, 3)
+        entry["supervised_identical"] = supervised_identical
+
     telemetry_identical = True
     if instrumented is not None:
         telemetry_identical = serial["results"] == _strip_telemetry(
@@ -420,6 +502,12 @@ def main(argv=None) -> int:
                 print(f"ERROR: engine parity: {failure}")
         else:
             print(f"engine parity: ok ({cells} cells x {len(ENGINES)} engines)")
+    if supervised is not None:
+        print(
+            f"supervised(jobs={jobs}) {supervised['total_s']}s | "
+            f"overhead vs pool {entry['supervised_overhead']:+.1%} | "
+            f"identical={supervised_identical}"
+        )
     if instrumented is not None:
         print(
             f"telemetry serial {instrumented['total_s']}s | "
@@ -429,6 +517,20 @@ def main(argv=None) -> int:
     print(f"appended entry #{len(ledger['entries'])} to {args.out}")
     if not identical:
         print("ERROR: parallel results diverge from serial — engine bug")
+        return 1
+    if not supervised_identical:
+        print("ERROR: supervised results diverge from serial — supervisor bug")
+        return 1
+    if (
+        supervised is not None
+        and args.max_supervised_overhead is not None
+        and entry["supervised_overhead"] > args.max_supervised_overhead
+    ):
+        print(
+            "ERROR: supervised overhead "
+            f"{entry['supervised_overhead']:+.1%} exceeds allowed "
+            f"{args.max_supervised_overhead:.1%}"
+        )
         return 1
     if not telemetry_identical:
         print("ERROR: telemetry changed simulated results — instrumentation bug")

@@ -36,6 +36,56 @@ class FaultError(ReproError):
     """
 
 
+class IntegrityError(ReproError):
+    """On-disk state failed an integrity check (checksum, schema).
+
+    Raised when a checkpoint or cache artifact is provably corrupted
+    *and* nothing useful can be recovered from it; recoverable
+    corruption is salvaged (with a warning and a telemetry counter)
+    instead of raised.
+    """
+
+
+class SupervisionError(ReproError):
+    """The supervised executor gave up on a cell or its worker pool.
+
+    Subclasses say why.  These surface in the parent only for
+    non-isolated cells (suite semantics); sweep-style isolated cells
+    record them as failed outcomes instead.
+    """
+
+
+class WorkerTimeoutError(SupervisionError):
+    """A cell exceeded its wall-clock deadline and its worker was killed."""
+
+    def __init__(self, index: int, timeout_s: float, kills: int) -> None:
+        super().__init__(
+            f"cell {index} exceeded its {timeout_s:g}s wall-clock deadline "
+            f"({kills} worker kill{'s' if kills != 1 else ''}); quarantined"
+        )
+        self.index = index
+        self.timeout_s = timeout_s
+        self.kills = kills
+
+    def __reduce__(self):
+        return (type(self), (self.index, self.timeout_s, self.kills))
+
+
+class WorkerCrashError(SupervisionError):
+    """A worker process died (signal, OOM kill) while running a cell."""
+
+    def __init__(self, index: int, kills: int) -> None:
+        super().__init__(
+            f"worker died while running cell {index} "
+            f"({kills} time{'s' if kills != 1 else ''}); quarantined"
+        )
+        self.index = index
+        self.kills = kills
+
+    def __reduce__(self):
+        return (type(self), (self.index, self.kills))
+
+
 class UncorrectableDataError(FaultError):
     """A detected-uncorrectable upset hit a dirty line.
 

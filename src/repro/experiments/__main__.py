@@ -17,7 +17,11 @@ import sys
 import time
 
 from repro.experiments import experiment_names, run_experiment, scale_by_name
-from repro.experiments.common import set_default_jobs, set_default_telemetry
+from repro.experiments.common import (
+    set_default_jobs,
+    set_default_supervisor,
+    set_default_telemetry,
+)
 from repro.telemetry import telemetry_from_env
 
 
@@ -54,6 +58,21 @@ def main(argv=None) -> int:
         help="also render distribution figures as ASCII stacked bars",
     )
     parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run grid cells through the supervised execution layer "
+        "(worker deadlines, crash retry, degradation to serial); "
+        "results are identical to unsupervised runs",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --supervise, kill and retry any cell exceeding this "
+        "wall-clock budget (default: no per-cell deadline)",
+    )
+    parser.add_argument(
         "--telemetry",
         default=None,
         metavar="MODE",
@@ -83,6 +102,14 @@ def main(argv=None) -> int:
         set_default_jobs(args.jobs)
     if args.telemetry is not None:
         set_default_telemetry(telemetry_from_env(args.telemetry))
+    if args.cell_timeout is not None and not args.supervise:
+        parser.error("--cell-timeout requires --supervise")
+    if args.supervise:
+        from repro.resilience.supervisor import SupervisorConfig
+
+        set_default_supervisor(
+            SupervisorConfig(cell_timeout_s=args.cell_timeout)
+        )
     if args.out:
         os.makedirs(args.out, exist_ok=True)
 

@@ -51,6 +51,7 @@ _RUN_CACHE: Dict[_RunKey, RunResult] = {}
 _DEFAULT_JOBS: Optional[int] = None
 _DEFAULT_TELEMETRY: Optional[TelemetryConfig] = None
 _TELEMETRY_SET = False
+_DEFAULT_SUPERVISOR = None  # Optional[repro.resilience.SupervisorConfig]
 
 
 def clear_caches() -> None:
@@ -95,6 +96,25 @@ def default_telemetry() -> Optional[TelemetryConfig]:
     if _TELEMETRY_SET:
         return _DEFAULT_TELEMETRY
     return telemetry_from_env(os.environ.get("REPRO_TELEMETRY"))
+
+
+def set_default_supervisor(supervisor) -> None:
+    """Set the process-wide supervised-execution config (None: off).
+
+    The CLI's ``--supervise`` / ``--cell-timeout`` flags land here with
+    a :class:`repro.resilience.SupervisorConfig`.  When set,
+    :func:`run_matrix` routes uncached cells through
+    :func:`repro.resilience.run_cells_supervised` — even at ``jobs=1``,
+    since the point of supervision (deadlines, crash recovery) applies
+    to single-worker runs too.
+    """
+    global _DEFAULT_SUPERVISOR
+    _DEFAULT_SUPERVISOR = supervisor
+
+
+def default_supervisor():
+    """The effective supervision config, or None when unsupervised."""
+    return _DEFAULT_SUPERVISOR
 
 
 def default_jobs() -> int:
@@ -187,6 +207,13 @@ def run_matrix(
     processes and land in the shared run cache, so subsequent
     :func:`cached_run` calls for the same cells are hits.  Any run
     error raises, exactly like the serial path.
+
+    When a process-wide supervisor is set
+    (:func:`set_default_supervisor`, via the CLI's ``--supervise``),
+    uncached cells always go through
+    :func:`repro.resilience.run_cells_supervised` — also at ``jobs=1``
+    — gaining wall-clock deadlines and crash recovery; results stay
+    bit-identical to the unsupervised paths.
     """
     jobs = default_jobs() if jobs is None else jobs
     if jobs < 1:
@@ -197,7 +224,8 @@ def run_matrix(
         for benchmark in benchmarks
         if _run_key(config, benchmark, scale) not in _RUN_CACHE
     ]
-    if jobs > 1 and len(pending) > 1:
+    supervisor = default_supervisor()
+    if pending and (supervisor is not None or (jobs > 1 and len(pending) > 1)):
         from repro.sim.parallel import CellTask, run_cells
 
         cache_dir = default_trace_cache_dir()
@@ -229,7 +257,13 @@ def run_matrix(
                     telemetry=default_telemetry(),
                 )
             )
-        for payload in run_cells(tasks, jobs):
+        if supervisor is not None:
+            from repro.resilience.supervisor import run_cells_supervised
+
+            payloads = run_cells_supervised(tasks, jobs, config=supervisor)
+        else:
+            payloads = run_cells(tasks, jobs)
+        for payload in payloads:
             config, benchmark = pending[payload["index"]]
             _RUN_CACHE[_run_key(config, benchmark, scale)] = run_result_from_dict(
                 payload["result"]

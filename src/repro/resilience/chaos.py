@@ -1,0 +1,99 @@
+"""Deterministic fault injection for the execution harness itself.
+
+:mod:`repro.faults` injects faults into the *simulated machine*; this
+module injects faults into the *harness* — worker processes that die
+mid-cell or hang forever — so the chaos suite can prove the supervisor
+recovers from them.  Injection is driven entirely through the
+filesystem so it crosses process boundaries under every multiprocessing
+start method:
+
+* set ``REPRO_CHAOS_DIR`` to a directory;
+* drop flag files into it: ``kill-<index>`` makes the worker SIGKILL
+  itself just before running cell ``index``; ``hang-<index>`` makes it
+  sleep far past any reasonable deadline (so the supervisor's timeout
+  kill fires);
+* each flag file holds a repeat count (empty = 1) and is consumed one
+  unit per trigger, so "die once then succeed" and "hang every
+  attempt" are both expressible and fully deterministic.
+
+With the environment variable unset — every production run — the probe
+is a single ``os.environ.get`` returning None; no filesystem traffic,
+no overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Optional
+
+CHAOS_ENV = "REPRO_CHAOS_DIR"
+HANG_ENV = "REPRO_CHAOS_HANG_S"
+DEFAULT_HANG_S = 3600.0
+
+
+def chaos_dir() -> Optional[str]:
+    """The active chaos directory, or None (the production default)."""
+    return os.environ.get(CHAOS_ENV) or None
+
+
+def _consume(directory: str, name: str) -> bool:
+    """Take one unit from a flag file; True if the flag was armed.
+
+    The file's content is its remaining trigger count (blank = 1); the
+    last unit removes the file.  Only one worker ever owns a given cell
+    index at a time, so no cross-process locking is needed.
+    """
+    path = os.path.join(directory, name)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read().strip()
+    except OSError:
+        return False
+    count = int(raw) if raw else 1
+    if count <= 1:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+    else:
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(str(count - 1))
+        os.replace(tmp, path)
+    return count > 0
+
+
+def probe(index: int) -> None:
+    """Fire any armed chaos for this cell index (worker-side hook)."""
+    directory = chaos_dir()
+    if directory is None:
+        return
+    if _consume(directory, f"hang-{index}"):
+        time.sleep(float(os.environ.get(HANG_ENV) or DEFAULT_HANG_S))
+    if _consume(directory, f"kill-{index}"):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+# --- test-side helpers ---
+
+
+def inject_kill(directory: str, index: int, times: int = 1) -> str:
+    """Arm a SIGKILL for the next ``times`` attempts of cell ``index``."""
+    return _arm(directory, f"kill-{index}", times)
+
+
+def inject_hang(directory: str, index: int, times: int = 1) -> str:
+    """Arm a hang for the next ``times`` attempts of cell ``index``."""
+    return _arm(directory, f"hang-{index}", times)
+
+
+def _arm(directory: str, name: str, times: int) -> str:
+    if times < 1:
+        raise ValueError(f"times must be >= 1, got {times}")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(str(times))
+    return path

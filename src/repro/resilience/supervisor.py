@@ -1,0 +1,392 @@
+"""Supervised cell execution: bounded, recoverable, verifiable.
+
+:func:`repro.sim.parallel.run_cells` is fast and bit-identical to
+serial execution, but it trusts its workers: a hung worker stalls
+``as_completed`` forever, and a worker killed by the OS (OOM, chaos)
+breaks the whole pool.  This module is the supervision layer the
+simulation-as-a-service roadmap item schedules onto — the same
+:class:`~repro.sim.parallel.CellTask` payloads and result dictionaries,
+wrapped in a parent-side supervisor that makes every cell:
+
+* **bounded** — each attempt gets a wall-clock deadline (the cell's
+  ``budget_s``, overridden by :attr:`SupervisorConfig.cell_timeout_s`);
+  a worker past its deadline is SIGKILLed and the slot respawned.
+  This is the *true* per-attempt budget the serial path cannot provide
+  (in-process code can't be preempted; see ``CellTask.budget_s``).
+* **recoverable** — a killed or crashed worker's cell is resubmitted
+  unchanged (``execute_cell`` is deterministic, so the recovered run is
+  bit-identical to an uninterrupted one), after an exponential backoff
+  with deterministic seed-derived jitter so a thundering herd of
+  retries can't re-trigger a load-correlated failure in lockstep.
+  Repeated worker crashes degrade the pool to in-process serial
+  execution (with a warning and a counter) rather than failing the
+  grid.
+* **verifiable** — every supervisor action increments a counter in
+  :mod:`repro.telemetry.runtime`, kept *outside* run payloads so
+  recovered results stay byte-identical to uninterrupted ones.
+
+Cells that keep killing their worker are **quarantined**: recorded as
+failed outcomes (``error_type`` ``WorkerTimeoutError`` /
+``WorkerCrashError``) for isolated (sweep-style) cells, raised in the
+parent for non-isolated (suite-style) ones.  Exceptions *returned* by a
+worker follow :func:`~repro.sim.parallel.run_cells` semantics exactly:
+isolated :class:`~repro.common.errors.ReproError` becomes a failed
+payload inside the worker; anything else re-raises in the parent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from multiprocessing import connection as mp_connection
+
+from repro.common.errors import (
+    ConfigurationError,
+    SimulationError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.common.rng import derive_seed
+from repro.resilience import chaos
+from repro.sim.parallel import CellTask, execute_cell
+from repro.telemetry.registry import StatRegistry
+from repro.telemetry.runtime import runtime_registry
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Policy knobs for :func:`run_cells_supervised`.
+
+    ``cell_timeout_s`` is the wall-clock deadline per dispatched
+    attempt; ``None`` defers to each task's own ``budget_s`` (and a
+    task with neither runs unbounded, exactly like the plain pool).
+    A cell whose worker is killed (deadline or crash) more than
+    ``max_worker_kills`` times is quarantined.  ``max_pool_breaks``
+    worker *crashes* (not deadline kills — those are the supervisor's
+    own doing) degrade the run to in-process serial execution.
+    Backoff before the k-th resubmission is
+    ``min(backoff_base_s * 2**(k-1), backoff_cap_s)`` plus a
+    deterministic jitter of up to ``backoff_jitter`` times that value,
+    derived from the task's seed and index so reruns back off
+    identically.
+    """
+
+    cell_timeout_s: Optional[float] = None
+    max_worker_kills: int = 2
+    max_pool_breaks: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    backoff_jitter: float = 0.5
+    mp_context: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ConfigurationError("cell_timeout_s must be positive")
+        if self.max_worker_kills < 0:
+            raise ConfigurationError("max_worker_kills must be >= 0")
+        if self.max_pool_breaks < 1:
+            raise ConfigurationError("max_pool_breaks must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError("backoff times must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigurationError("backoff_jitter must be in [0, 1]")
+
+
+def backoff_s(config: SupervisorConfig, task: CellTask, kills: int) -> float:
+    """Delay before resubmitting ``task`` after its ``kills``-th kill.
+
+    Deterministic: the jitter fraction comes from the task's own seed
+    and index, so a re-run of the same chaos scenario schedules retries
+    at identical offsets.
+    """
+    base = min(
+        config.backoff_base_s * (2 ** max(0, kills - 1)), config.backoff_cap_s
+    )
+    if config.backoff_jitter == 0.0 or base == 0.0:
+        return base
+    raw = derive_seed(task.seed, f"supervisor-backoff/{task.index}/{kills}")
+    fraction = (raw % (1 << 32)) / float(1 << 32)
+    return base * (1.0 + config.backoff_jitter * fraction)
+
+
+def _attempt_timeout(task: CellTask, config: SupervisorConfig) -> Optional[float]:
+    """The wall-clock deadline for one dispatched attempt, in seconds."""
+    if config.cell_timeout_s is not None:
+        return config.cell_timeout_s
+    return task.budget_s
+
+
+def _worker_main(conn) -> None:
+    """Long-lived worker loop: recv task, execute, send result.
+
+    Protocol messages back to the parent: ``("ok", payload)`` for a
+    completed cell (including isolated-failure payloads), ``("raise",
+    exc)`` for exceptions that must propagate in the parent.  A ``None``
+    task is the shutdown sentinel.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if task is None:
+            conn.close()
+            return
+        try:
+            chaos.probe(task.index)
+            message = ("ok", execute_cell(task))
+        except KeyboardInterrupt:
+            return
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            message = ("raise", exc)
+        try:
+            conn.send(message)
+        except Exception:
+            if message[0] == "raise":
+                conn.send(
+                    ("raise", SimulationError(f"worker error: {message[1]!r}"))
+                )
+            else:
+                raise
+
+
+class _Slot:
+    """One worker process and its duplex pipe."""
+
+    __slots__ = ("proc", "conn", "position", "deadline")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.position: Optional[int] = None  # index into the task list
+        self.deadline: Optional[float] = None
+
+    def kill(self) -> None:
+        try:
+            if self.proc.is_alive():
+                self.proc.kill()
+            self.proc.join(timeout=5.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def run_cells_supervised(
+    tasks: Sequence[CellTask],
+    jobs: int,
+    config: Optional[SupervisorConfig] = None,
+    callback: Optional[Callable[[Dict[str, object]], None]] = None,
+    registry: Optional[StatRegistry] = None,
+) -> List[Dict[str, object]]:
+    """Drop-in supervised :func:`~repro.sim.parallel.run_cells`.
+
+    Same signature contract — payloads in submission order, ``callback``
+    fired in completion order — plus the supervision semantics described
+    in the module docstring.  ``jobs=1`` still runs the cell in a (single)
+    worker process so deadlines stay enforceable; only repeated pool
+    breaks degrade to true in-process execution.
+    """
+    config = config or SupervisorConfig()
+    registry = registry if registry is not None else runtime_registry()
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    tasks = list(tasks)
+    if not tasks:
+        return []
+
+    payloads: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+    ready: deque = deque(range(len(tasks)))
+    delayed: List = []  # heap of (ready_at, position)
+    kills: Dict[int, int] = {}
+    outstanding = len(tasks)
+    pool_breaks = 0
+    degraded = False
+    slots: List[_Slot] = []
+    ctx = (
+        multiprocessing.get_context(config.mp_context)
+        if config.mp_context
+        else multiprocessing.get_context()
+    )
+
+    def spawn() -> _Slot:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        proc.start()
+        child_conn.close()
+        return _Slot(proc, parent_conn)
+
+    def record(position: int, payload: Dict[str, object]) -> None:
+        nonlocal outstanding
+        payloads[position] = payload
+        outstanding -= 1
+        if callback is not None:
+            callback(payload)
+
+    def strike(slot: _Slot, cause: str) -> None:
+        """Handle one dead-or-killed worker: retry, quarantine, respawn."""
+        nonlocal pool_breaks, degraded
+        position = slot.position
+        slot.position = None
+        slot.deadline = None
+        slot.kill()
+        registry.add(f"supervisor.{'timeouts' if cause == 'timeout' else 'crashes'}")
+        if cause == "crash":
+            pool_breaks += 1
+        if position is not None:
+            task = tasks[position]
+            count = kills.get(position, 0) + 1
+            kills[position] = count
+            if count > config.max_worker_kills:
+                registry.add("supervisor.quarantined")
+                timeout = _attempt_timeout(task, config)
+                if cause == "timeout":
+                    error: Exception = WorkerTimeoutError(
+                        task.index, timeout or 0.0, count
+                    )
+                else:
+                    error = WorkerCrashError(task.index, count)
+                if not task.isolate_errors:
+                    raise error
+                record(
+                    position,
+                    {
+                        "index": task.index,
+                        "outcome": {
+                            "status": "failed",
+                            "attempts": count,
+                            "error": str(error),
+                            "error_type": type(error).__name__,
+                        },
+                        "result": None,
+                    },
+                )
+            else:
+                registry.add("supervisor.retries")
+                heapq.heappush(
+                    delayed,
+                    (time.monotonic() + backoff_s(config, task, count), position),
+                )
+        if pool_breaks >= config.max_pool_breaks and not degraded:
+            degraded = True
+            registry.add("supervisor.degraded")
+            warnings.warn(
+                f"worker pool broke {pool_breaks} times; degrading to "
+                "in-process serial execution (deadlines no longer enforced)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def reap_expired(now: float) -> None:
+        for slot in slots:
+            if (
+                slot.position is not None
+                and slot.deadline is not None
+                and now >= slot.deadline
+            ):
+                strike(slot, "timeout")
+                if not degraded:
+                    slots[slots.index(slot)] = spawn()
+                    registry.add("supervisor.pool_rebuilds")
+
+    try:
+        slots = [spawn() for _ in range(min(jobs, len(tasks)))]
+        while outstanding:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                ready.append(heapq.heappop(delayed)[1])
+
+            if degraded:
+                # Reclaim in-flight cells, then drain everything
+                # in-process, in submission order, with run_cells'
+                # serial semantics (no deadline enforcement possible).
+                for slot in slots:
+                    if slot.position is not None:
+                        ready.append(slot.position)
+                    slot.kill()
+                slots = []
+                remaining = sorted(
+                    set(ready) | {position for _, position in delayed}
+                )
+                ready.clear()
+                delayed.clear()
+                for position in remaining:
+                    record(position, execute_cell(tasks[position]))
+                break
+
+            # Dispatch ready cells onto idle workers.
+            for index, slot in enumerate(slots):
+                if slot.position is None and ready:
+                    position = ready.popleft()
+                    try:
+                        slot.conn.send(tasks[position])
+                    except (OSError, ValueError):
+                        # Worker died while idle; respawn and retry the
+                        # dispatch next iteration.
+                        ready.appendleft(position)
+                        strike(slot, "crash")
+                        if not degraded:
+                            slots[index] = spawn()
+                            registry.add("supervisor.pool_rebuilds")
+                        continue
+                    slot.position = position
+                    timeout = _attempt_timeout(tasks[position], config)
+                    slot.deadline = (
+                        None if timeout is None else time.monotonic() + timeout
+                    )
+            if degraded:
+                continue
+
+            busy = [slot for slot in slots if slot.position is not None]
+            if not busy:
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                continue
+
+            horizons = [s.deadline for s in busy if s.deadline is not None]
+            if delayed:
+                horizons.append(delayed[0][0])
+            wait_timeout = (
+                None
+                if not horizons
+                else max(0.0, min(horizons) - time.monotonic()) + 0.005
+            )
+            ready_conns = mp_connection.wait(
+                [slot.conn for slot in busy], timeout=wait_timeout
+            )
+            for conn in ready_conns:
+                slot = next(s for s in slots if s.conn is conn)
+                try:
+                    kind, value = conn.recv()
+                except (EOFError, OSError):
+                    strike(slot, "crash")
+                    if not degraded:
+                        slots[slots.index(slot)] = spawn()
+                        registry.add("supervisor.pool_rebuilds")
+                    continue
+                if kind == "ok":
+                    position = slot.position
+                    slot.position = None
+                    slot.deadline = None
+                    kills.pop(position, None)
+                    record(position, value)  # type: ignore[arg-type]
+                else:
+                    raise value
+            reap_expired(time.monotonic())
+    finally:
+        for slot in slots:
+            if slot.position is None and slot.proc.is_alive():
+                try:
+                    slot.conn.send(None)
+                except (OSError, ValueError):
+                    pass
+            slot.kill()
+    return payloads  # type: ignore[return-value]

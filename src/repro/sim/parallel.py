@@ -85,6 +85,14 @@ class CellTask:
     trace: Optional[Trace] = None
     max_retries: int = 0
     reseed_step: int = 1000
+    #: Wall-clock budget for the cell's retry loop.  On the in-process
+    #: paths (execute_cell / run_cells) this is ADVISORY: it is only
+    #: checked *between* reseeded retry attempts, so a single attempt
+    #: that hangs or overruns is never interrupted — Python cannot
+    #: safely preempt a compute loop from within.  Under the supervised
+    #: pool (repro.resilience.run_cells_supervised) the same value
+    #: doubles as the default per-attempt deadline, enforced for real:
+    #: the worker is SIGKILLed and the cell retried/quarantined.
     budget_s: Optional[float] = None
     warm_set_conflict: int = 1
     prewarm: bool = True

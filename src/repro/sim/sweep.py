@@ -17,16 +17,26 @@ hardens the grid instead of letting one point abort it:
   ``max_retries`` times, each attempt bumping the trace seed and the
   fault-plan seed by ``reseed_step`` so the retry explores a different
   deterministic universe rather than replaying the same crash.
-* **budget** — an optional wall-clock allowance per point; once spent,
-  remaining attempts and benchmarks of that point are recorded as
-  failed instead of started.
+* **budget** — an optional wall-clock allowance per point.  On the
+  in-process paths (serial, and ``execute_cell`` inside plain workers)
+  the budget is *advisory*: Python code cannot preempt a running
+  attempt, so it is only checked **between** attempts and benchmarks —
+  one slow attempt can blow far past its allowance before the check
+  fires.  Under a :class:`~repro.resilience.SupervisorConfig` the
+  budget becomes a true wall-clock deadline: the supervisor SIGKILLs a
+  worker whose attempt exceeds it.
 * **checkpointing** — with ``checkpoint_path`` set, completed cells
-  are persisted to an atomic JSON checkpoint; re-invoking ``run()``
-  after a crash (or kill) replays completed cells from the file and
-  re-runs only the incomplete ones, with seeds untouched, so the
-  resumed grid is identical to an uninterrupted run.  Flushes are
-  batched (default: once per point) to avoid O(cells²) rewrite I/O on
-  big grids; any Python-level exception — including Ctrl-C — still
+  are persisted to an atomic, checksummed JSON checkpoint (format v2;
+  v1 files from older runs are still read, and rewritten as v2 on the
+  next flush — see :mod:`repro.resilience.checkpoint`, which also
+  salvages partially corrupted files instead of refusing to resume).
+  Re-invoking ``run()`` after a crash (or kill) replays completed
+  cells from the file and re-runs only the incomplete ones, with seeds
+  untouched, so the resumed grid is identical to an uninterrupted run.
+  Flushes are batched (default: once per point) to avoid O(cells²)
+  rewrite I/O on big grids, serialized against concurrent sweeps with
+  a cross-process file lock, and ``finally``-guarded in :meth:`Sweep.run`
+  itself: any Python-level exception — including Ctrl-C — still
   flushes every completed cell on the way out, so only a hard
   ``kill -9`` can lose up to one flush interval of finished work.
 * **parallelism** — ``jobs=N`` runs cells on N worker processes via
@@ -38,6 +48,14 @@ hardens the grid instead of letting one point abort it:
   versa).  The per-point wall-clock budget degrades to a per-cell
   budget under parallelism, since a point's cells no longer run
   back-to-back on one core.
+* **supervision** — pass ``supervisor=SupervisorConfig(...)`` to run
+  cells under :func:`repro.resilience.run_cells_supervised`: hung
+  workers are killed at their deadline, crashed workers respawned and
+  their cells resubmitted (bit-identically), repeat offenders
+  quarantined as failed outcomes, and a repeatedly breaking pool
+  degrades to in-process serial execution instead of aborting the
+  grid.  Supervision state never touches result payloads, so a
+  supervised grid is byte-identical to an unsupervised one.
 """
 
 from __future__ import annotations
@@ -51,9 +69,13 @@ import tempfile
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError, ReproError
+from repro.resilience.checkpoint import read_checkpoint, write_checkpoint
+
+if TYPE_CHECKING:  # the runtime import is deferred to break a cycle
+    from repro.resilience.supervisor import SupervisorConfig
 from repro.sim.config import SystemConfig
 from repro.sim.driver import run_benchmark
 from repro.sim.parallel import CellTask, reseed_config, run_cells
@@ -63,6 +85,12 @@ from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceCache, default_trace_cache_dir, generate_trace
 
+#: Salt for :meth:`Sweep.signature`.  Deliberately pinned at 1 even
+#: though the checkpoint *file* layout is now v2
+#: (:data:`repro.resilience.checkpoint.CHECKPOINT_FILE_FORMAT`): the
+#: signature identifies the grid's *results*, which the file format
+#: does not change, and keeping it stable is what lets v1 checkpoints
+#: resume under v2 without re-running anything.
 CHECKPOINT_FORMAT = 1
 
 
@@ -168,7 +196,11 @@ class Sweep:
     load from (default: ``$REPRO_TRACE_CACHE``, else a private temp
     directory deleted after the run).  ``checkpoint_every`` flushes the
     checkpoint after that many newly completed cells (default: one
-    flush per point).
+    flush per point).  ``supervisor`` routes cell execution through
+    :func:`repro.resilience.run_cells_supervised` (worker deadlines,
+    crash recovery, quarantine) — even with ``jobs=1``, where the
+    single cell runs in a supervised worker process so its deadline
+    stays enforceable.
     """
 
     def __init__(
@@ -187,6 +219,7 @@ class Sweep:
         trace_cache_dir: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
         telemetry: Optional[TelemetryConfig] = None,
+        supervisor: Optional["SupervisorConfig"] = None,
     ) -> None:
         if not axes:
             raise ConfigurationError("sweep needs at least one axis")
@@ -236,6 +269,7 @@ class Sweep:
         self.trace_cache_dir = trace_cache_dir
         self.checkpoint_every = checkpoint_every
         self.telemetry = telemetry
+        self.supervisor = supervisor
         self._traces: Dict[str, Trace] = {}
 
     def _trace(self, benchmark: str, attempt: int = 0) -> Trace:
@@ -299,41 +333,34 @@ class Sweep:
         return digest.hexdigest()
 
     def _load_checkpoint(self, signature: str) -> Dict[str, Dict[str, dict]]:
-        """Completed cells from a prior run, keyed by point then bench."""
+        """Completed cells from a prior run, keyed by point then bench.
+
+        Handled by :func:`repro.resilience.read_checkpoint`: v2 files
+        are checksum-verified, v1 files migrate transparently, and
+        corrupted files are salvaged cell-by-cell (with a warning and
+        runtime counters) instead of refusing the resume.  Only a
+        signature mismatch — or a file mangled beyond recovering even
+        its signature — still raises.
+        """
         path = self.checkpoint_path
-        if path is None or not os.path.exists(path):
+        if path is None:
             return {}
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ConfigurationError(
-                f"unreadable sweep checkpoint {path!r}: {exc}"
-            ) from exc
-        if payload.get("signature") != signature:
-            raise ConfigurationError(
-                f"checkpoint {path!r} belongs to a different sweep "
-                "(signature mismatch); delete it or pick another path"
-            )
-        cells = payload.get("cells", {})
-        if not isinstance(cells, dict):
-            raise ConfigurationError(f"malformed sweep checkpoint {path!r}")
-        return cells
+        return read_checkpoint(path, signature)
 
     def _save_checkpoint(
         self, signature: str, cells: Dict[str, Dict[str, dict]]
     ) -> None:
-        """Atomically persist completed cells (write temp + rename)."""
+        """Persist completed cells: atomic, checksummed, lock-serialized.
+
+        Delegates to :func:`repro.resilience.write_checkpoint`, which
+        seals each record, merges with same-signature cells another
+        process may have flushed to the same path, and writes under a
+        cross-process file lock.
+        """
         path = self.checkpoint_path
         if path is None:
             return
-        payload = {"signature": signature, "cells": cells}
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        write_checkpoint(path, signature, cells)
 
     # --- the run loop ---
 
@@ -415,10 +442,18 @@ class Sweep:
                     )
         if not pending:
             return points
-        if jobs == 1:
-            self._run_serial(points, signature, cells, pending)
-        else:
-            self._run_parallel(points, signature, cells, pending, jobs)
+        # The flush state lives here — not in the runner methods — so a
+        # KeyboardInterrupt (or any exception) anywhere below still
+        # persists every completed cell on the way out.
+        state = {"dirty": 0}
+        try:
+            if jobs == 1 and self.supervisor is None:
+                self._run_serial(points, signature, cells, pending, state)
+            else:
+                self._run_parallel(points, signature, cells, pending, jobs, state)
+        finally:
+            if state["dirty"]:
+                self._save_checkpoint(signature, cells)
         return points
 
     def _record_cell(
@@ -445,45 +480,39 @@ class Sweep:
         signature: str,
         cells: Dict[str, Dict[str, dict]],
         pending: List[Tuple[int, str]],
+        state: Dict[str, int],
     ) -> None:
         flush_every = self._flush_every()
-        dirty = 0
         deadline: Optional[float] = None
         current: Optional[int] = None
-        try:
-            for index, benchmark in pending:
-                if index != current:
-                    current = index
-                    # The budget clock starts at the point's first
-                    # non-cached cell, so resumed points get a full
-                    # allowance for their remaining work.
-                    deadline = (
-                        time.monotonic() + self.point_budget_s
-                        if self.point_budget_s is not None
-                        else None
-                    )
-                if deadline is not None and time.monotonic() >= deadline:
-                    result: Optional[RunResult] = None
-                    outcome = RunOutcome(
-                        status="failed",
-                        attempts=0,
-                        error="point budget exhausted",
-                        error_type="Budget",
-                    )
-                else:
-                    result, outcome = self._run_cell(
-                        points[index], benchmark, deadline
-                    )
-                self._record_cell(points, cells, index, benchmark, result, outcome)
-                dirty += 1
-                if dirty >= flush_every:
-                    self._save_checkpoint(signature, cells)
-                    dirty = 0
-        finally:
-            # Ctrl-C / propagated simulator bugs still persist every
-            # completed cell, keeping crash-resume exact.
-            if dirty:
+        for index, benchmark in pending:
+            if index != current:
+                current = index
+                # The budget clock starts at the point's first
+                # non-cached cell, so resumed points get a full
+                # allowance for their remaining work.
+                deadline = (
+                    time.monotonic() + self.point_budget_s
+                    if self.point_budget_s is not None
+                    else None
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                result: Optional[RunResult] = None
+                outcome = RunOutcome(
+                    status="failed",
+                    attempts=0,
+                    error="point budget exhausted",
+                    error_type="Budget",
+                )
+            else:
+                result, outcome = self._run_cell(
+                    points[index], benchmark, deadline
+                )
+            self._record_cell(points, cells, index, benchmark, result, outcome)
+            state["dirty"] += 1
+            if state["dirty"] >= flush_every:
                 self._save_checkpoint(signature, cells)
+                state["dirty"] = 0
 
     def _run_parallel(
         self,
@@ -492,6 +521,7 @@ class Sweep:
         cells: Dict[str, Dict[str, dict]],
         pending: List[Tuple[int, str]],
         jobs: int,
+        state: Dict[str, int],
     ) -> None:
         cache_dir = self.trace_cache_dir or default_trace_cache_dir()
         scratch: Optional[str] = None
@@ -523,7 +553,6 @@ class Sweep:
             for position, (index, benchmark) in enumerate(pending)
         ]
         flush_every = self._flush_every()
-        state = {"dirty": 0}
 
         def record(payload: Dict[str, object]) -> None:
             index, benchmark = pending[payload["index"]]  # type: ignore[index]
@@ -537,10 +566,15 @@ class Sweep:
                 state["dirty"] = 0
 
         try:
-            run_cells(tasks, jobs, callback=record)
+            if self.supervisor is not None:
+                from repro.resilience.supervisor import run_cells_supervised
+
+                run_cells_supervised(
+                    tasks, jobs, config=self.supervisor, callback=record
+                )
+            else:
+                run_cells(tasks, jobs, callback=record)
         finally:
-            if state["dirty"]:
-                self._save_checkpoint(signature, cells)
             if scratch is not None:
                 shutil.rmtree(scratch, ignore_errors=True)
 

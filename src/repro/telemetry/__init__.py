@@ -41,6 +41,11 @@ from repro.telemetry.registry import (
     StatRegistry,
     occupancy_bounds,
 )
+from repro.telemetry.runtime import (
+    reset_runtime_registry,
+    runtime_counters,
+    runtime_registry,
+)
 from repro.telemetry.trace import EventTracer, read_trace, trace_summary
 
 __all__ = [
@@ -58,6 +63,9 @@ __all__ = [
     "occupancy_bounds",
     "profiler_or_null",
     "read_trace",
+    "reset_runtime_registry",
+    "runtime_counters",
+    "runtime_registry",
     "telemetry_from_env",
     "trace_summary",
 ]

@@ -1,0 +1,50 @@
+"""Process-global counters for the execution harness itself.
+
+Run telemetry (:class:`~repro.telemetry.TelemetryConfig` payloads) is a
+deterministic function of the simulated machine, merged bit-identically
+across workers — so nothing *environmental* may leak into it.  But the
+supervised executor and the on-disk caches still need to account for
+what happened around the simulation: worker kills, retries, salvaged
+checkpoints, regenerated trace-cache entries.  Those events land here,
+in a process-wide :class:`~repro.telemetry.registry.StatRegistry` that
+is reported separately from run payloads and never checkpointed.
+
+Counters used by the resilience layer:
+
+* ``supervisor.timeouts`` / ``supervisor.crashes`` — worker kills, by cause
+* ``supervisor.retries`` — cells resubmitted after a kill
+* ``supervisor.quarantined`` — cells failed after repeated kills
+* ``supervisor.pool_rebuilds`` — worker slots respawned
+* ``supervisor.degraded`` — fall-backs to in-process serial execution
+* ``checkpoint.v1_migrated`` — legacy checkpoints read through the shim
+* ``checkpoint.salvaged`` / ``checkpoint.salvaged_cells`` — corrupted
+  checkpoints partially recovered, and how many cells survived
+* ``checkpoint.record_rejected`` — cells dropped by a per-record checksum
+* ``trace_cache.corrupt_recovered`` — cache entries regenerated after a
+  failed load or checksum mismatch
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.telemetry.registry import StatRegistry
+
+_runtime = StatRegistry()
+
+
+def runtime_registry() -> StatRegistry:
+    """The process-wide harness-event registry."""
+    return _runtime
+
+
+def reset_runtime_registry() -> StatRegistry:
+    """Fresh registry (tests isolate themselves with this)."""
+    global _runtime
+    _runtime = StatRegistry()
+    return _runtime
+
+
+def runtime_counters() -> Dict[str, float]:
+    """Flat snapshot of the harness counters (empty when nothing fired)."""
+    return _runtime.counters()

@@ -22,6 +22,7 @@ to create the hot sets §2.1 argues coupled placement handles badly.
 from __future__ import annotations
 
 import os
+import warnings
 import zipfile
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -30,6 +31,13 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError, ReproError
 from repro.common.rng import derive_seed
+from repro.resilience.integrity import (
+    remove_sidecar,
+    verify_sidecar,
+    write_sidecar,
+)
+from repro.resilience.locks import FileLock
+from repro.telemetry.runtime import runtime_registry
 from repro.workloads.spec2k import BenchmarkProfile, get_benchmark
 from repro.workloads.trace import Trace
 
@@ -267,9 +275,19 @@ class TraceCache:
 
     A corrupted or stale file (killed mid-write before PRs used atomic
     renames, disk damage, a benchmark profile edit that changed the
-    record count) is detected on load and silently regenerated in
-    place; ``hits`` / ``misses`` count how often the disk copy was
-    usable.
+    record count) is detected on load and regenerated in place —
+    loudly: a :class:`RuntimeWarning` and the runtime telemetry counter
+    ``trace_cache.corrupt_recovered`` record that disk state was thrown
+    away, so silent data loss is visible.  ``hits`` / ``misses`` count
+    how often the disk copy was usable.
+
+    Integrity is checked before content: every write leaves a
+    ``<name>.npz.sha256`` sidecar, and a sidecar mismatch condemns the
+    entry without paying for an ``.npz`` parse.  Entries predating the
+    sidecars (no sidecar file) fall back to the load-and-validate path.
+    Generation for a given key is serialized across processes with a
+    :class:`FileLock`, so N workers cold-starting on a shared cache
+    directory generate each trace once instead of N times.
     """
 
     def __init__(self, directory: str) -> None:
@@ -292,17 +310,39 @@ class TraceCache:
         )
 
     def _load_valid(
-        self, path: str, benchmark: str, n_references: int
+        self, path: str, benchmark: str, n_references: int, report: bool = True
     ) -> Optional[Trace]:
         if not os.path.exists(path):
             return None
+        # Sidecar first: a checksum mismatch condemns the file without
+        # parsing it.  A missing sidecar (pre-sidecar entry) is not a
+        # verdict — fall through to the load-and-validate path.
+        if verify_sidecar(path) is False:
+            if report:
+                self._report_unusable(path, "failed its checksum")
+            return None
         try:
             trace = Trace.load(path)
-        except _CACHE_LOAD_ERRORS:
+        except _CACHE_LOAD_ERRORS as exc:
+            if report:
+                self._report_unusable(path, f"was unreadable ({exc})")
             return None
         if trace.benchmark != benchmark or len(trace) != n_references:
-            return None  # stale: key scheme and content disagree
+            # Stale: key scheme and content disagree.
+            if report:
+                self._report_unusable(path, "does not match its key")
+            return None
         return trace
+
+    @staticmethod
+    def _report_unusable(path: str, reason: str) -> None:
+        runtime_registry().add("trace_cache.corrupt_recovered")
+        warnings.warn(
+            f"trace cache entry {path!r} {reason}; regenerating it "
+            "(cached simulation inputs on this disk are not trustworthy)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     def fetch(
         self,
@@ -319,22 +359,31 @@ class TraceCache:
         if trace is not None:
             self.hits += 1
             return trace, path
-        trace = generate_trace(
-            get_benchmark(benchmark),
-            n_references,
-            seed=seed,
-            warm_set_conflict=warm_set_conflict,
-        )
         os.makedirs(self.directory, exist_ok=True)
-        # np.savez appends ".npz" to suffix-less paths, so the temp
-        # name must already carry it for the rename to find the file.
-        tmp = f"{path}.{os.getpid()}.tmp.npz"
-        try:
-            trace.save(tmp)
-            os.replace(tmp, path)
-        finally:
-            if os.path.exists(tmp):
-                os.remove(tmp)
+        with FileLock(path + ".lock"):
+            # Another process may have generated it while we waited; a
+            # still-broken file was already reported above, so this
+            # re-check stays quiet.
+            trace = self._load_valid(path, benchmark, n_references, report=False)
+            if trace is not None:
+                self.hits += 1
+                return trace, path
+            trace = generate_trace(
+                get_benchmark(benchmark),
+                n_references,
+                seed=seed,
+                warm_set_conflict=warm_set_conflict,
+            )
+            # np.savez appends ".npz" to suffix-less paths, so the temp
+            # name must already carry it for the rename to find the file.
+            tmp = f"{path}.{os.getpid()}.tmp.npz"
+            try:
+                trace.save(tmp)
+                os.replace(tmp, path)
+                write_sidecar(path)
+            finally:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
         self.misses += 1
         return trace, path
 
@@ -389,6 +438,7 @@ class TraceCache:
                 os.remove(path)
             except OSError:
                 continue
+            remove_sidecar(path)
             total -= size
             removed += 1
         return removed

@@ -119,6 +119,70 @@ class TestSweepParallel:
             len(cells) == 2 for cells in json.load(open(path))["cells"].values()
         )
 
+    def test_resume_after_kill_serial(self, tmp_path):
+        """The same kill-resume contract must hold at jobs=1 — the
+        degenerate serial path shares the checkpoint machinery."""
+        path = str(tmp_path / "ckpt.json")
+        uninterrupted = make_sweep(checkpoint_path=path).run()
+
+        payload = json.load(open(path))
+        key = sorted(payload["cells"])[0]
+        benchmark = sorted(payload["cells"][key])[0]
+        del payload["cells"][key][benchmark]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+        resumed = make_sweep(checkpoint_path=path).run()
+        assert point_dicts(resumed) == point_dicts(uninterrupted)
+        assert all(
+            len(cells) == 2 for cells in json.load(open(path))["cells"].values()
+        )
+
+    def test_v1_checkpoint_resumes_and_upgrades_to_v2(self, tmp_path):
+        """A format-v1 file ({"signature", "cells"}, no checksums)
+        resumes under v2 without re-running its cells, and the next
+        flush rewrites it as a checksummed, record-sealed v2 file."""
+        path = str(tmp_path / "ckpt.json")
+        uninterrupted = make_sweep(checkpoint_path=path).run()
+
+        # Downgrade the file to v1: strip the envelope and the
+        # per-record seals, and drop one cell so the resume must both
+        # migrate and re-run.
+        payload = json.load(open(path))
+        cells = {
+            key: {
+                bench: {k: v for k, v in record.items() if k != "crc"}
+                for bench, record in benches.items()
+            }
+            for key, benches in payload["cells"].items()
+        }
+        key = sorted(cells)[0]
+        del cells[key][sorted(cells[key])[0]]
+        with open(path, "w") as handle:
+            json.dump({"signature": payload["signature"], "cells": cells}, handle)
+
+        calls = []
+        sweep = make_sweep(checkpoint_path=path)
+        original = sweep._run_cell
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        sweep._run_cell = counting
+        resumed = sweep.run()
+        assert point_dicts(resumed) == point_dicts(uninterrupted)
+        assert len(calls) == 1  # only the dropped cell re-ran
+
+        upgraded = json.load(open(path))
+        assert upgraded["format"] == 2
+        assert "checksum" in upgraded
+        assert all(
+            "crc" in record
+            for benches in upgraded["cells"].values()
+            for record in benches.values()
+        )
+
 
 class TestCheckpointBatching:
     def _count_saves(self, sweep):
