@@ -13,7 +13,10 @@ wall-clock trajectory reviewers diff against::
 
 The harness is informational: it never fails on slow hardware, only on
 a serial/parallel result mismatch (which would mean the engine broke
-determinism — the one property this file exists to guard).
+determinism — the one property this file exists to guard), on an
+``--engine-parity`` divergence between the exact replay engines, or on
+an ``--approx-accuracy`` drift of the analytical ``engine="approx"``
+tier past its documented tolerances.
 """
 
 from __future__ import annotations
@@ -31,13 +34,25 @@ from typing import Dict, List, Optional
 
 from dataclasses import replace as config_replace
 
+from repro.nurapid.config import DistanceReplacementKind, PromotionPolicy
 from repro.resilience.supervisor import SupervisorConfig, run_cells_supervised
-from repro.sim.config import ENGINES, SystemConfig, nurapid_config, resolve_engine, snuca_config
+from repro.sim.config import (
+    EXACT_ENGINES,
+    SystemConfig,
+    base_config,
+    dnuca_config,
+    nurapid_config,
+    resolve_engine,
+    sa_nuca_config,
+    snuca_config,
+)
 from repro.sim.driver import run_benchmark
 from repro.sim.parallel import CellTask, run_cells
-from repro.sim.results import run_result_to_dict
+from repro.sim.results import RunResult, run_result_to_dict
+from repro.sim.vectorized import MIN_RUN, WINDOW
 from repro.telemetry import TelemetryConfig
 from repro.telemetry.report import merge_payloads, render_report
+from repro.telemetry.runtime import runtime_registry
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceCache, default_trace_cache_dir
 
@@ -47,10 +62,43 @@ DEFAULT_WARMUP = 0.4
 DEFAULT_REPETITIONS = 3
 LEDGER_FORMAT = 1
 
+#: Workload for the ``--approx-accuracy`` gate: the full shipped-config
+#: parity matrix from ``tests/test_fastpath.py``, three trace seeds.
+APPROX_BENCHMARK = "twolf"
+APPROX_SEEDS = (0, 1, 2)
+
+#: Documented tolerances for ``engine="approx"`` on the accuracy matrix
+#: (twolf; the analytical tier is calibrated against this workload —
+#: eviction-heavy benchmarks like mcf drift further).  Current worst
+#: observed errors sit near half of each bound.
+APPROX_TOLERANCES = {
+    "ipc_rel": 0.025,
+    "miss_ratio_abs": 0.008,
+    "fastest_dgroup_abs": 0.02,
+    "energy_rel": 0.015,
+}
+
 
 def standard_configs() -> List[SystemConfig]:
     """The fixed config pair the baseline times (NuRAPID + S-NUCA)."""
     return [nurapid_config(), snuca_config()]
+
+
+def accuracy_matrix_configs() -> List[SystemConfig]:
+    """The shipped-config parity matrix (mirrors tests/test_fastpath.py)."""
+    return [
+        base_config(),
+        nurapid_config(),
+        nurapid_config(
+            n_dgroups=2,
+            promotion=PromotionPolicy.DEMOTION_ONLY,
+            distance_replacement=DistanceReplacementKind.LRU,
+        ),
+        nurapid_config(promotion_hysteresis=2),
+        dnuca_config(),
+        sa_nuca_config(),
+        snuca_config(),
+    ]
 
 
 def _time_serial(
@@ -192,12 +240,15 @@ def engine_parity(
     seed: int,
     warmup: float,
 ) -> List[str]:
-    """Replay every cell under both engines; returns mismatch descriptions.
+    """Replay every cell under all exact engines; returns mismatch descriptions.
 
-    Each cell runs telemetry-enabled under ``legacy`` and ``fast``; the
-    full result payload (summary, counters, energy) must compare equal
+    Each cell runs telemetry-enabled under every engine in
+    ``EXACT_ENGINES`` (legacy, fast, vectorized); the full result
+    payload (summary, counters, energy) must compare equal to legacy's
     and the rendered telemetry reports must match byte for byte.  Empty
-    return = the engines are bit-identical on this workload.
+    return = the engines are bit-identical on this workload.  The
+    ``approx`` engine is deliberately excluded: it is held to the
+    tolerance gate (:func:`approx_accuracy`), not bit-identity.
     """
     mismatches: List[str] = []
     for config in configs:
@@ -205,7 +256,7 @@ def engine_parity(
             cell = f"{config.name}/{benchmark}"
             payloads: Dict[str, dict] = {}
             reports: Dict[str, str] = {}
-            for engine in ENGINES:
+            for engine in EXACT_ENGINES:
                 result = run_benchmark(
                     config_replace(config, engine=engine),
                     benchmark,
@@ -219,11 +270,122 @@ def engine_parity(
                 telem = payload.pop("telemetry", None)
                 payloads[engine] = payload
                 reports[engine] = render_report(merge_payloads([(cell, telem)]))
-            if payloads["legacy"] != payloads["fast"]:
-                mismatches.append(f"{cell}: results differ between engines")
-            if reports["legacy"] != reports["fast"]:
-                mismatches.append(f"{cell}: telemetry reports differ between engines")
+            for engine in EXACT_ENGINES[1:]:
+                if payloads[engine] != payloads["legacy"]:
+                    mismatches.append(
+                        f"{cell}: {engine} results differ from legacy"
+                    )
+                if reports[engine] != reports["legacy"]:
+                    mismatches.append(
+                        f"{cell}: {engine} telemetry report differs from legacy"
+                    )
     return mismatches
+
+
+def _accuracy_metrics(result: RunResult) -> Dict[str, float]:
+    """The gated observables of one cell (shared by both engines)."""
+    miss_ratio = (
+        result.l2_misses / result.l2_accesses if result.l2_accesses else 0.0
+    )
+    fractions = result.dgroup_fractions or {}
+    fastest = min(fractions) if fractions else None
+    return {
+        "ipc": result.ipc,
+        "miss_ratio": miss_ratio,
+        "fastest_dgroup": fractions.get(fastest, 0.0) if fastest is not None else 0.0,
+        "energy_nj": result.total_energy_nj,
+    }
+
+
+def approx_accuracy(
+    cache: TraceCache,
+    refs: int,
+    warmup: float,
+    repetitions: int = 1,
+) -> Dict[str, object]:
+    """Cross-validate ``engine="approx"`` against the exact tier.
+
+    Runs the shipped-config parity matrix (7 configs x 3 seeds, twolf)
+    under the default exact engine and under ``approx``, compares the
+    gated metrics (IPC, L2 miss ratio, fastest-d-group hit fraction,
+    total energy) against :data:`APPROX_TOLERANCES`, and times both
+    sides (min over ``repetitions`` for approx, whose first call also
+    pays geometry setup).  Returns worst-case errors, per-tolerance
+    failures, and the per-cell speedup distribution.
+    """
+    configs = accuracy_matrix_configs()
+    worst = {key: 0.0 for key in APPROX_TOLERANCES}
+    failures: List[str] = []
+    exact_total = 0.0
+    approx_total = 0.0
+    speedups: List[float] = []
+    for seed in APPROX_SEEDS:
+        trace, _ = cache.fetch(APPROX_BENCHMARK, refs, seed=seed)
+        for config in configs:
+            cell = f"{config.name}/{APPROX_BENCHMARK}/s{seed}"
+            started = time.perf_counter()
+            exact = run_benchmark(
+                config,
+                APPROX_BENCHMARK,
+                n_references=refs,
+                trace=trace,
+                warmup_fraction=warmup,
+                seed=seed,
+            )
+            exact_s = time.perf_counter() - started
+            approx_s: Optional[float] = None
+            for _ in range(repetitions):
+                started = time.perf_counter()
+                approximate = run_benchmark(
+                    config_replace(config, engine="approx"),
+                    APPROX_BENCHMARK,
+                    n_references=refs,
+                    trace=trace,
+                    warmup_fraction=warmup,
+                    seed=seed,
+                )
+                elapsed = time.perf_counter() - started
+                if approx_s is None or elapsed < approx_s:
+                    approx_s = elapsed
+            exact_total += exact_s
+            approx_total += approx_s or 0.0
+            speedups.append(exact_s / approx_s if approx_s else 0.0)
+            em = _accuracy_metrics(exact)
+            am = _accuracy_metrics(approximate)
+            errors = {
+                "ipc_rel": abs(am["ipc"] - em["ipc"]) / em["ipc"]
+                if em["ipc"]
+                else 0.0,
+                "miss_ratio_abs": abs(am["miss_ratio"] - em["miss_ratio"]),
+                "fastest_dgroup_abs": abs(
+                    am["fastest_dgroup"] - em["fastest_dgroup"]
+                ),
+                "energy_rel": abs(am["energy_nj"] - em["energy_nj"])
+                / em["energy_nj"]
+                if em["energy_nj"]
+                else 0.0,
+            }
+            for key, error in errors.items():
+                worst[key] = max(worst[key], error)
+                if error > APPROX_TOLERANCES[key]:
+                    failures.append(
+                        f"{cell}: {key} error {error:.4f} exceeds "
+                        f"tolerance {APPROX_TOLERANCES[key]:.4f}"
+                    )
+    cells = len(configs) * len(APPROX_SEEDS)
+    return {
+        "benchmark": APPROX_BENCHMARK,
+        "seeds": list(APPROX_SEEDS),
+        "cells": cells,
+        "tolerances": dict(APPROX_TOLERANCES),
+        "worst_errors": {key: round(value, 5) for key, value in worst.items()},
+        "exact_s": round(exact_total, 3),
+        "approx_s": round(approx_total, 3),
+        "speedup": round(exact_total / approx_total, 1) if approx_total else 0.0,
+        "per_cell_speedup_min": round(min(speedups), 1) if speedups else 0.0,
+        "within_tolerance": not failures,
+        "failures": failures,
+    }
 
 
 def comparable_entry(
@@ -290,8 +452,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engine-parity",
         action="store_true",
-        help="run every cell under both replay engines (legacy and fast) "
-        "and fail unless results and telemetry reports are identical",
+        help="run every cell under all exact replay engines "
+        f"({', '.join(EXACT_ENGINES)}) and fail unless results and "
+        "telemetry reports are identical",
+    )
+    parser.add_argument(
+        "--approx-accuracy",
+        action="store_true",
+        help="cross-validate engine=approx against the exact tier over "
+        "the shipped-config parity matrix (7 configs x 3 seeds, "
+        f"{APPROX_BENCHMARK}) and fail if any gated metric drifts past "
+        "its documented tolerance",
     )
     parser.add_argument(
         "--supervised",
@@ -329,10 +500,21 @@ def main(argv=None) -> int:
     cpus = os.cpu_count() or 1
     jobs = args.jobs or min(4, cpus)
     oversubscribed = jobs > cpus
+    # The supervised executor keeps the supervising parent active
+    # alongside its worker processes (deadline polling, pipe plumbing),
+    # so it saturates one extra CPU over the plain pool.
+    supervised_oversubscribed = bool(args.supervised) and jobs + 1 > cpus
     if oversubscribed:
         print(
             f"warning: {jobs} jobs oversubscribe {cpus} CPUs; the parallel "
             "timing will understate the engine's real speedup",
+            file=sys.stderr,
+        )
+    elif supervised_oversubscribed:
+        print(
+            f"warning: {jobs} workers plus the supervisor oversubscribe "
+            f"{cpus} CPUs; the supervised timing will overstate the "
+            "supervision tax",
             file=sys.stderr,
         )
 
@@ -360,6 +542,14 @@ def main(argv=None) -> int:
                 configs, benchmarks, traces, args.refs, args.seed, args.warmup
             )
 
+        accuracy: Optional[Dict[str, object]] = None
+        if args.approx_accuracy:
+            accuracy = approx_accuracy(
+                cache, args.refs, args.warmup, repetitions=args.repetitions
+            )
+
+        registry = runtime_registry()
+        kernel_before = dict(registry.counters("vectorized."))
         serial = _time_serial(
             configs,
             benchmarks,
@@ -369,6 +559,11 @@ def main(argv=None) -> int:
             args.warmup,
             repetitions=args.repetitions,
         )
+        kernel_after = registry.counters("vectorized.")
+        kernel_delta = {
+            name: value - kernel_before.get(name, 0)
+            for name, value in kernel_after.items()
+        }
         parallel = _time_parallel(
             configs, benchmarks, trace_paths, args.refs, args.seed, args.warmup, jobs
         )
@@ -427,6 +622,21 @@ def main(argv=None) -> int:
         "speedup": round(speedup, 3),
         "identical": identical,
     }
+    kernel_refs = kernel_delta.get("vectorized.refs", 0)
+    if kernel_refs:
+        # Chunk-kernel strategy stats for the serial pass (all
+        # repetitions), from the process-global runtime registry.
+        entry["kernel"] = {
+            "window": WINDOW,
+            "min_run": MIN_RUN,
+            "refs": int(kernel_refs),
+            "refs_vector": int(kernel_delta.get("vectorized.refs_vector", 0)),
+            "refs_scalar": int(kernel_delta.get("vectorized.refs_scalar", 0)),
+            "vector_fraction": round(
+                kernel_delta.get("vectorized.refs_vector", 0) / kernel_refs, 4
+            ),
+            "fallbacks": int(kernel_delta.get("vectorized.fallbacks", 0)),
+        }
     supervised_identical = True
     if supervised is not None:
         supervised_identical = serial["results"] == supervised["results"]
@@ -455,6 +665,12 @@ def main(argv=None) -> int:
 
     if args.engine_parity:
         entry["engine_parity"] = not parity_failures
+    if accuracy is not None:
+        entry["approx"] = {
+            key: value for key, value in accuracy.items() if key != "failures"
+        }
+    if args.supervised:
+        entry["supervised_oversubscribed"] = supervised_oversubscribed
 
     regression_failure: Optional[str] = None
     if args.against is not None:
@@ -501,7 +717,22 @@ def main(argv=None) -> int:
             for failure in parity_failures:
                 print(f"ERROR: engine parity: {failure}")
         else:
-            print(f"engine parity: ok ({cells} cells x {len(ENGINES)} engines)")
+            print(
+                f"engine parity: ok ({cells} cells x "
+                f"{len(EXACT_ENGINES)} engines)"
+            )
+    if accuracy is not None:
+        errors = accuracy["worst_errors"]
+        print(
+            f"approx accuracy ({accuracy['cells']} cells, "
+            f"{accuracy['benchmark']}): worst ipc {errors['ipc_rel']:.2%} | "
+            f"miss ratio {errors['miss_ratio_abs']:.4f} | fastest d-group "
+            f"{errors['fastest_dgroup_abs']:.4f} | energy "
+            f"{errors['energy_rel']:.2%} | speedup {accuracy['speedup']}x "
+            f"(per-cell min {accuracy['per_cell_speedup_min']}x)"
+        )
+        for failure in accuracy["failures"]:
+            print(f"ERROR: approx accuracy: {failure}")
     if supervised is not None:
         print(
             f"supervised(jobs={jobs}) {supervised['total_s']}s | "
@@ -537,6 +768,9 @@ def main(argv=None) -> int:
         return 1
     if parity_failures:
         print("ERROR: replay engines diverge — fast-path bug")
+        return 1
+    if accuracy is not None and not accuracy["within_tolerance"]:
+        print("ERROR: approx engine drifted past documented tolerances")
         return 1
     if regression_failure is not None:
         print(f"ERROR: {regression_failure}")

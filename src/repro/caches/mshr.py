@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry import Histogram
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One outstanding miss."""
 
@@ -40,6 +40,10 @@ class MSHRFile:
             raise ConfigurationError(f"MSHR count must be positive, got {entries}")
         self.capacity = entries
         self._entries: Dict[int, MSHREntry] = {}
+        #: Earliest outstanding fill time (inf when empty); lets
+        #: retire_completed return without scanning when nothing can
+        #: have completed yet.
+        self._min_fill = float("inf")
         self.primary_misses = 0
         self.merged_misses = 0
         self.full_stalls = 0
@@ -56,9 +60,15 @@ class MSHRFile:
 
     def retire_completed(self, now: float) -> None:
         """Free every entry whose fill has returned by ``now``."""
-        done = [addr for addr, e in self._entries.items() if e.fill_at <= now]
+        if now < self._min_fill:
+            return
+        entries = self._entries
+        done = [addr for addr, e in entries.items() if e.fill_at <= now]
         for addr in done:
-            del self._entries[addr]
+            del entries[addr]
+        self._min_fill = min(
+            (e.fill_at for e in entries.values()), default=float("inf")
+        )
 
     def lookup(self, block_addr: int) -> Optional[MSHREntry]:
         """Outstanding entry for this block, if any."""
@@ -77,7 +87,7 @@ class MSHRFile:
         """Completion time of the oldest-completing outstanding miss."""
         if not self._entries:
             raise SimulationError("earliest_fill on empty MSHR file")
-        return min(e.fill_at for e in self._entries.values())
+        return self._min_fill
 
     def allocate(self, block_addr: int, now: float, fill_at: float) -> MSHREntry:
         """Allocate an entry for a primary miss.
@@ -93,6 +103,8 @@ class MSHRFile:
             raise SimulationError("fill cannot complete before it is issued")
         entry = MSHREntry(block_addr=block_addr, issued_at=now, fill_at=fill_at)
         self._entries[block_addr] = entry
+        if fill_at < self._min_fill:
+            self._min_fill = fill_at
         self.primary_misses += 1
         if self.occupancy_hist is not None:
             self.occupancy_hist.record(len(self._entries))

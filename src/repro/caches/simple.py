@@ -38,6 +38,8 @@ class SetAssociativeCache:
     """A uniform-latency, LRU, write-back, allocate-on-miss cache."""
 
     def __init__(self, spec: UniformCacheSpec, energy: Optional[EnergyBook] = None) -> None:
+        if spec.block_bytes <= 0 or spec.block_bytes & (spec.block_bytes - 1):
+            raise ConfigurationError("block_bytes must be a power of two")
         blocks = spec.capacity_bytes // spec.block_bytes
         if blocks % spec.associativity:
             raise ConfigurationError("capacity must hold a whole number of sets")
@@ -60,6 +62,18 @@ class SetAssociativeCache:
         self.energy.register(f"{self.name}.read", spec.read_energy_nj)
         self.energy.register(f"{self.name}.write", spec.write_energy_nj)
         self.energy.register(f"{self.name}.tag_probe", spec.tag_energy_nj)
+        # Hot-path caches: precomputed op keys/costs, address masks, and a
+        # direct view into the energy counts (reset in place, so the
+        # reference stays valid across reset_stats()).  Pure
+        # re-expressions of the state above; bit-identical behavior.
+        self._k_read = f"{self.name}.read"
+        self._k_write = f"{self.name}.write"
+        self._read_cost = self.energy.cost(self._k_read)
+        self._write_cost = self.energy.cost(self._k_write)
+        self._ecounts = self.energy._count
+        self._block_mask = ~(spec.block_bytes - 1)
+        self._set_shift = spec.block_bytes.bit_length() - 1
+        self._set_mask = self.n_sets - 1
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
@@ -121,11 +135,15 @@ class SetAssociativeCache:
         bottleneck under study.
         """
         del now
-        baddr = block_address(address, self.spec.block_bytes)
-        index = self._locate(address)
+        baddr = address & self._block_mask
+        index = (address >> self._set_shift) & self._set_mask
         frame = self._find(index, baddr)
-        op = f"{self.name}.write" if is_write else f"{self.name}.read"
-        energy = self.energy.charge(op)
+        if is_write:
+            self._ecounts[self._k_write] += 1
+            energy = self._write_cost
+        else:
+            self._ecounts[self._k_read] += 1
+            energy = self._read_cost
         if frame >= 0:
             if self.fault_injector is not None:
                 # May raise UncorrectableDataError for a dirty-line DUE.
@@ -187,13 +205,13 @@ class SetAssociativeCache:
         returned so the hierarchy can route a dirty writeback to the
         next level.
         """
-        baddr = block_address(address, self.spec.block_bytes)
-        index = self._locate(address)
+        baddr = address & self._block_mask
+        index = (address >> self._set_shift) & self._set_mask
         if self._find(index, baddr) >= 0:
             # Two misses to the same block can race through the MSHR
             # merge path; the second fill is a no-op.
             return None
-        self.energy.charge(f"{self.name}.write")
+        self._ecounts[self._k_write] += 1
         tags = self._tags
         stamps = self._stamps
         base = index * self._assoc

@@ -50,7 +50,7 @@ class Access:
         return self.address & ~(block_size - 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of presenting an access to a cache (or hierarchy).
 

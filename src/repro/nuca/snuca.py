@@ -16,8 +16,9 @@ hits at the bank's latency or misses after its tag check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.stats import Counter, Distribution
@@ -27,12 +28,6 @@ from repro.caches.port import PortScheduler
 from repro.common.lru import LRUPolicy
 from repro.floorplan.dgroups import DNUCAGeometry, build_dnuca_geometry
 from repro.tech.energy import EnergyBook
-
-
-@dataclass
-class _Line:
-    block_addr: int
-    dirty: bool
 
 
 class SNUCACache:
@@ -54,6 +49,8 @@ class SNUCACache:
         if blocks % associativity:
             raise ConfigurationError("capacity must hold a whole number of sets")
         self.n_sets = blocks // associativity
+        if self.n_sets & (self.n_sets - 1):
+            raise ConfigurationError("set count must be a power of two")
         self.geometry = geometry if geometry is not None else build_dnuca_geometry(
             capacity_bytes=capacity_bytes,
             block_bytes=block_bytes,
@@ -62,7 +59,9 @@ class SNUCACache:
         if self.n_sets % self.geometry.n_banks:
             raise ConfigurationError("sets must divide evenly over the banks")
 
-        self._sets: List[Dict[int, _Line]] = [dict() for _ in range(self.n_sets)]
+        # Each set maps block address -> dirty flag; the tag is the key
+        # itself, so no per-line object is needed.
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.n_sets)]
         self._lru: List[LRUPolicy] = [LRUPolicy() for _ in range(self.n_sets)]
         self._ports = [
             PortScheduler(f"{name}.bank{i}") for i in range(self.geometry.n_banks)
@@ -75,6 +74,30 @@ class SNUCACache:
             self.energy.register(f"{base}.probe", bank.probe_energy_nj)
         self.stats = Counter()
         self.dgroup_hits = Distribution()
+
+        # Hot-path caches: precomputed per-bank key strings, costs, and
+        # latency/occupancy/row tables, plus direct views into the
+        # stats/energy dicts (both reset in place, so these references
+        # stay valid across reset_stats()).  Pure re-expressions of the
+        # state above — counter totals and float math are bit-identical
+        # to the uncached path.
+        self._block_mask = ~(block_bytes - 1)
+        self._set_shift = block_bytes.bit_length() - 1
+        self._set_mask = self.n_sets - 1
+        self._n_banks = self.geometry.n_banks
+        banks = self.geometry.banks
+        self._k_probe = [f"{name}.bank{b.index}.probe" for b in banks]
+        self._k_read = [f"{name}.bank{b.index}.read" for b in banks]
+        self._k_write = [f"{name}.bank{b.index}.write" for b in banks]
+        self._probe_cost = [self.energy.cost(k) for k in self._k_probe]
+        self._read_cost = [self.energy.cost(k) for k in self._k_read]
+        self._write_cost = [self.energy.cost(k) for k in self._k_write]
+        self._bank_lat = [b.latency_cycles for b in banks]
+        self._bank_occ = [b.occupancy_cycles for b in banks]
+        self._bank_row = [b.row for b in banks]
+        self._port_of = [self._ports[b.index] for b in banks]
+        self._scounts = self.stats._counts
+        self._ecounts = self.energy._count
 
     # --- static mapping ---
 
@@ -92,61 +115,79 @@ class SNUCACache:
     # --- access path: one bank, no search ---
 
     def access(self, address: int, is_write: bool = False, now: float = 0.0) -> AccessResult:
-        baddr = block_address(address, self.block_bytes)
-        index = self._set_of(address)
-        bank = self.bank_of_set(index)
-        self.stats.add("accesses")
-        start, _ = self._ports[bank.index].request(now, bank.occupancy_cycles)
+        baddr = address & self._block_mask
+        index = (address >> self._set_shift) & self._set_mask
+        bi = index % self._n_banks
+        sc = self._scounts
+        sc["accesses"] = sc.get("accesses", 0) + 1
+        # PortScheduler.request, inlined (occupancy is a non-negative
+        # per-bank constant and now is the driver's non-negative clock,
+        # so the scheduler's guard checks cannot fire).
+        port = self._port_of[bi]
+        occ = self._bank_occ[bi]
+        bu = port.busy_until
+        start = now if now >= bu else bu
+        port.busy_until = start + occ
+        port.total_busy += occ
         wait = start - now
+        port.total_wait += wait
+        port.grants += 1
 
-        line = self._sets[index].get(baddr)
-        if line is None:
-            self.stats.add("misses")
-            energy = self.energy.charge(f"{self.name}.bank{bank.index}.probe")
+        resident = self._sets[index]
+        hit = baddr in resident
+        if not hit:
+            sc["misses"] = sc.get("misses", 0) + 1
+            self._ecounts[self._k_probe[bi]] += 1
             return AccessResult(
                 hit=False,
-                latency=wait + bank.latency_cycles,
+                latency=wait + self._bank_lat[bi],
                 level=self.name,
-                energy_nj=energy,
+                energy_nj=self._probe_cost[bi],
             )
-        self.stats.add("hits")
+        sc["hits"] = sc.get("hits", 0) + 1
         # Report the bank's latency tier (row) where d-groups would be.
-        self.dgroup_hits.add(bank.row)
-        self.stats.add("dgroup_accesses")
+        row = self._bank_row[bi]
+        dh = self.dgroup_hits.counts
+        dh[row] = dh.get(row, 0) + 1
+        sc["dgroup_accesses"] = sc.get("dgroup_accesses", 0) + 1
         self._lru[index].touch(baddr)
         if is_write:
-            line.dirty = True
-        op = "write" if is_write else "read"
-        energy = self.energy.charge(f"{self.name}.bank{bank.index}.{op}")
+            resident[baddr] = True
+            self._ecounts[self._k_write[bi]] += 1
+            energy = self._write_cost[bi]
+        else:
+            self._ecounts[self._k_read[bi]] += 1
+            energy = self._read_cost[bi]
         return AccessResult(
             hit=True,
-            latency=wait + bank.latency_cycles,
+            latency=wait + self._bank_lat[bi],
             level=self.name,
-            dgroup=bank.row,
+            dgroup=row,
             energy_nj=energy,
         )
 
     def fill(self, address: int, now: float = 0.0, dirty: bool = False) -> int:
-        baddr = block_address(address, self.block_bytes)
-        index = self._set_of(address)
+        baddr = address & self._block_mask
+        index = (address >> self._set_shift) & self._set_mask
         resident = self._sets[index]
         if baddr in resident:
             return 0
-        self.stats.add("fills")
-        bank = self.bank_of_set(index)
+        sc = self._scounts
+        sc["fills"] = sc.get("fills", 0) + 1
+        bi = index % self._n_banks
         writebacks = 0
         if len(resident) >= self.associativity:
             victim_addr = self._lru[index].pop_victim()
-            victim = resident.pop(victim_addr)
-            self.stats.add("evictions")
-            if victim.dirty:
+            victim_dirty = resident.pop(victim_addr)
+            sc["evictions"] = sc.get("evictions", 0) + 1
+            if victim_dirty:
                 writebacks = 1
-                self.stats.add("writebacks")
-                self.energy.charge(f"{self.name}.bank{bank.index}.read")
-        resident[baddr] = _Line(block_addr=baddr, dirty=dirty)
+                sc["writebacks"] = sc.get("writebacks", 0) + 1
+                self._ecounts[self._k_read[bi]] += 1
+        resident[baddr] = dirty
         self._lru[index].insert(baddr)
-        self.energy.charge(f"{self.name}.bank{bank.index}.write")
-        self.stats.add("dgroup_accesses")
+        self._ecounts[self._k_write[bi]] += 1
+        sc["dgroup_accesses"] = sc.get("dgroup_accesses", 0) + 1
         return writebacks
 
     # --- protocol extras ---
@@ -158,13 +199,30 @@ class SNUCACache:
         n_sets = self.n_sets
         bb = self.block_bytes
         base = self.PREWARM_BASE
+        assoc = self.associativity
+        # base + (way*n_sets + index)*bb for every (set, way), one C pass.
+        rows = (
+            base
+            + (
+                np.arange(n_sets, dtype=np.int64)[:, None]
+                + np.arange(assoc, dtype=np.int64)[None, :] * n_sets
+            )
+            * bb
+        ).tolist()
         for index in range(n_sets):
             resident = self._sets[index]
+            if not resident:
+                # Bulk path for the common fresh-cache case: same
+                # addresses in the same way-ascending order.
+                baddrs = rows[index]
+                self._sets[index] = dict.fromkeys(baddrs, False)
+                self._lru[index].insert_many(baddrs)
+                continue
             fresh = []
-            for way in range(self.associativity):
+            for way in range(assoc):
                 baddr = base + (way * n_sets + index) * bb
                 if baddr not in resident:
-                    resident[baddr] = _Line(block_addr=baddr, dirty=False)
+                    resident[baddr] = False
                     fresh.append(baddr)
             self._lru[index].insert_many(fresh)
 

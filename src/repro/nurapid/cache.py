@@ -23,7 +23,10 @@ how the paper's reduced-bandwidth argument is evaluated (§5.4).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError, SimulationError
 
@@ -130,6 +133,7 @@ class NuRAPIDCache:
 
         self.stats = Counter()
         self.dgroup_hits = Distribution()
+        self._init_hot_caches()
 
         #: Optional runtime fault injection (see :mod:`repro.faults`).
         #: None keeps every fault hook dead code: the no-fault path is
@@ -138,6 +142,53 @@ class NuRAPIDCache:
         #: Optional telemetry client (see :mod:`repro.telemetry`).
         #: None is the null sink: every hook below is a dead branch.
         self.telemetry: Optional["CacheTelemetry"] = None
+
+    def _init_hot_caches(self) -> None:
+        """Precompute hot-path constants (pure re-expressions of state).
+
+        The access path used to build f-string energy keys, re-derive
+        latencies from the geometry, and go through ``Counter.add`` /
+        ``EnergyBook.charge`` on every call.  Everything cached here is
+        a value those calls would compute identically, so the counter
+        totals, key insertion order, and float arithmetic stay
+        bit-identical to the uncached path.
+        """
+        geo = self.geometry
+        name = self.name
+        groups = range(geo.n_dgroups)
+        self._k_tag = f"{name}.tag_probe"
+        self._k_dg_read = [f"{name}.dg{g}.read" for g in groups]
+        self._k_dg_write = [f"{name}.dg{g}.write" for g in groups]
+        self._k_move = [
+            [f"{name}.move.{i}->{j}" if i != j else "" for j in groups]
+            for i in groups
+        ]
+        self._tag_cost = self.energy.cost(self._k_tag)
+        self._dg_read_cost = [self.energy.cost(k) for k in self._k_dg_read]
+        self._dg_write_cost = [self.energy.cost(k) for k in self._k_dg_write]
+        #: Direct views into the stats/energy dicts.  Counter.reset()
+        #: and EnergyBook.reset_counts() mutate in place, so these stay
+        #: valid across reset_stats().
+        self._scounts = self.stats._counts
+        self._ecounts = self.energy._count
+        self._miss_lat_f = float(geo.miss_latency())
+        self._hit_lat_f = [float(geo.hit_latency(g)) for g in groups]
+        self._ideal_lat = geo.hit_latency(0)
+        self._tag_cycles = geo.tag_cycles
+        self._data_occ = [geo.data_occupancy(g) for g in groups]
+        self._data_cycles = [geo.dgroups[g].data_cycles for g in groups]
+        self._swap_occ = [
+            [geo.swap_occupancy(i, j) if i != j else 0.0 for j in groups]
+            for i in groups
+        ]
+        self._n_regions = self.config.n_regions
+        self._rtouch = [
+            [policy.touch for policy in row] for row in self._replacer._policies
+        ]
+        self._ideal_uniform = self.config.ideal_uniform
+        self._promo_on = self.config.promotion is not PromotionPolicy.DEMOTION_ONLY
+        self._promo_next = self.config.promotion is PromotionPolicy.NEXT_FASTEST
+        self._hysteresis = self.config.promotion_hysteresis
 
     # --- fault injection (opt-in) ---
 
@@ -219,22 +270,23 @@ class NuRAPIDCache:
         index = (address >> self._set_shift) & self._set_mask
         tag_set = self._tags[index]
         packed = tag_set.get(baddr)
-        self.stats.add("accesses")
-        energy = self.energy.charge(f"{self.name}.tag_probe")
+        sc = self._scounts
+        sc["accesses"] = sc.get("accesses", 0) + 1
+        ec = self._ecounts
+        ec[self._k_tag] += 1
+        energy = self._tag_cost
 
         if packed is None:
             # Sequential tag-data access: the (pipelined) tag probe
             # alone determines a miss; the data port is never touched.
             if self.fault_injector is not None:
                 self.fault_injector.on_access(False, False, address)
-            self.stats.add("misses")
+            sc["misses"] = sc.get("misses", 0) + 1
             if self.telemetry is not None:
-                self.telemetry.on_access(
-                    baddr, False, None, float(self.geometry.miss_latency())
-                )
+                self.telemetry.on_access(baddr, False, None, self._miss_lat_f)
             return AccessResult(
                 hit=False,
-                latency=float(self.geometry.miss_latency()),
+                latency=self._miss_lat_f,
                 level=self.name,
                 energy_nj=energy,
             )
@@ -250,62 +302,71 @@ class NuRAPIDCache:
             if outcome is TransientOutcome.REFETCH:
                 # The d-group read that detected the error is paid; the
                 # clean line is dropped and refetched from below.
-                energy += self.energy.charge(f"{self.name}.dg{group}.read")
+                energy += self.energy.charge(self._k_dg_read[group])
                 self.stats.add("dgroup_accesses")
                 self.stats.add("fault_refetches")
                 self.stats.add("misses")
                 self._invalidate_frame(group, packed & _PACK_FRAME_MASK)
                 if self.telemetry is not None:
                     self.telemetry.on_access(
-                        baddr, False, None, float(self.geometry.hit_latency(group))
+                        baddr, False, None, self._hit_lat_f[group]
                     )
                 return AccessResult(
                     hit=False,
-                    latency=float(self.geometry.hit_latency(group)),
+                    latency=self._hit_lat_f[group],
                     level=self.name,
                     energy_nj=energy,
                 )
-        self.stats.add("hits")
-        self.dgroup_hits.add(group)
-        op = "write" if is_write else "read"
-        energy += self.energy.charge(f"{self.name}.dg{group}.{op}")
-        self.stats.add("dgroup_accesses")
+        sc["hits"] = sc.get("hits", 0) + 1
+        dh = self.dgroup_hits.counts
+        dh[group] = dh.get(group, 0) + 1
+        if is_write:
+            ec[self._k_dg_write[group]] += 1
+            energy += self._dg_write_cost[group]
+        else:
+            ec[self._k_dg_read[group]] += 1
+            energy += self._dg_read_cost[group]
+        sc["dgroup_accesses"] = sc.get("dgroup_accesses", 0) + 1
         if is_write:
             packed |= _PACK_DIRTY
             tag_set[baddr] = packed
 
         self._data_lru[index].touch(baddr)
-        self._replacer.touch(group, self._region_of(address), packed & _PACK_FRAME_MASK)
+        self._rtouch[group][index % self._n_regions](packed & _PACK_FRAME_MASK)
 
-        if self.config.ideal_uniform:
-            latency: float = self.geometry.hit_latency(0)
+        if self._ideal_uniform:
+            latency: float = self._ideal_lat
             done = now + latency
         else:
             # The tag array is pipelined; the data side's single port is
             # claimed after the tag probe, for the array-access time
             # only.  Data reaches the core a wire-trip after the array
             # starts, so latency = queueing + tag + data path.
-            start, _ = self.port.request(
-                now + self.geometry.tag_cycles, self.geometry.data_occupancy(group)
-            )
-            latency = (start - now) + self.geometry.dgroups[group].data_cycles
+            # PortScheduler.request, inlined (non-negative constant
+            # occupancy, non-decreasing non-negative clock).
+            port = self.port
+            t0 = now + self._tag_cycles
+            occ = self._data_occ[group]
+            bu = port.busy_until
+            start = t0 if t0 >= bu else bu
+            port.busy_until = start + occ
+            port.total_busy += occ
+            port.total_wait += start - t0
+            port.grants += 1
+            latency = (start - now) + self._data_cycles[group]
             done = now + latency
 
         if self.telemetry is not None:
             self.telemetry.on_access(baddr, True, group, latency)
 
-        if group > 0 and self.config.promotion is not PromotionPolicy.DEMOTION_ONLY:
+        if group > 0 and self._promo_on:
             pending = (packed >> _PACK_PENDING_SHIFT) + 1
-            if pending >= self.config.promotion_hysteresis:
+            if pending >= self._hysteresis:
                 packed &= _PACK_DIRTY | _PACK_FRAME_MASK | (
                     _PACK_DGROUP_MASK << _PACK_DGROUP_SHIFT
                 )
                 tag_set[baddr] = packed
-                target = (
-                    group - 1
-                    if self.config.promotion is PromotionPolicy.NEXT_FASTEST
-                    else 0
-                )
+                target = group - 1 if self._promo_next else 0
                 self._promote(index, baddr, packed, target, done)
             else:
                 tag_set[baddr] = (
@@ -411,11 +472,12 @@ class NuRAPIDCache:
         Fill-time demotion chains ride the fill buffers and drain
         during idle array cycles, so they charge energy only.
         """
-        self.energy.charge(f"{self.name}.move.{src}->{dst}")
-        self.stats.add("dgroup_accesses", 2)
-        self.stats.add("moves")
+        self._ecounts[self._k_move[src][dst]] += 1
+        sc = self._scounts
+        sc["dgroup_accesses"] = sc.get("dgroup_accesses", 0) + 2
+        sc["moves"] = sc.get("moves", 0) + 1
         if occupy and not self.config.ideal_uniform:
-            self.port.request(now, self.geometry.swap_occupancy(src, dst))
+            self.port.request(now, self._swap_occ[src][dst])
 
     # --- fills (placement + distance replacement, §2.2) ---
 
@@ -432,8 +494,9 @@ class NuRAPIDCache:
         resident = self._tags[index]
         if baddr in resident:
             return 0
-        region = index % self.config.n_regions
-        self.stats.add("fills")
+        region = index % self._n_regions
+        sc = self._scounts
+        sc["fills"] = sc.get("fills", 0) + 1
 
         writebacks = 0
         set_evicted = len(resident) >= self.config.associativity
@@ -443,18 +506,18 @@ class NuRAPIDCache:
             victim_group = (victim >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK
             self._stores[victim_group].release(victim & _PACK_FRAME_MASK)
             self._replacer.remove(victim_group, region, victim & _PACK_FRAME_MASK)
-            self.stats.add("evictions")
+            sc["evictions"] = sc.get("evictions", 0) + 1
             if self.telemetry is not None:
                 self.telemetry.event(
                     "eviction", addr=victim_addr, dgroup=victim_group, cycle=now
                 )
             if victim & _PACK_DIRTY:
                 writebacks = 1
-                self.stats.add("writebacks")
+                sc["writebacks"] = sc.get("writebacks", 0) + 1
                 # Reading the victim out for writeback is a d-group read;
                 # it drains through the writeback buffer off the port.
-                self.energy.charge(f"{self.name}.dg{victim_group}.read")
-                self.stats.add("dgroup_accesses")
+                self._ecounts[self._k_dg_read[victim_group]] += 1
+                sc["dgroup_accesses"] = sc.get("dgroup_accesses", 0) + 1
                 if self.telemetry is not None:
                     self.telemetry.event(
                         "writeback", addr=victim_addr, dgroup=victim_group, cycle=now
@@ -495,7 +558,7 @@ class NuRAPIDCache:
                     "demotion chain ran off the slowest d-group; "
                     "free-frame accounting is corrupt"
                 )
-            self.stats.add("demotions")
+            sc["demotions"] = sc.get("demotions", 0) + 1
             if self.telemetry is not None:
                 self.telemetry.event(
                     "demotion", addr=incoming, src=group - 1, dst=group, cycle=now
@@ -507,8 +570,8 @@ class NuRAPIDCache:
 
         # The new block's own fill write into d-group 0 (fill buffer;
         # no demand-port occupancy).
-        self.energy.charge(f"{self.name}.dg0.write")
-        self.stats.add("dgroup_accesses")
+        self._ecounts[self._k_dg_write[0]] += 1
+        sc["dgroup_accesses"] = sc.get("dgroup_accesses", 0) + 1
 
         packed = self._tags[index].get(baddr)
         if packed is None:
@@ -673,29 +736,42 @@ class NuRAPIDCache:
         # reproduces the exact same frame assignment and policy order;
         # allocate_run/insert_many are one-call equivalents.
         for group in range(n_dgroups):
-            ways = range(group * ways_per_group, (group + 1) * ways_per_group)
+            ways = np.arange(group * ways_per_group, (group + 1) * ways_per_group)
             group_bits = group << _PACK_DGROUP_SHIFT
             for region in range(n_regions):
                 indices = range(region, sets, n_regions)
-                blocks = [
-                    base + (way * sets + index) * bb
-                    for index in indices
-                    for way in ways
-                ]
+                # base + (way*sets + index)*bb, index-major way-minor,
+                # materialized in one C pass.
+                blocks = (
+                    base
+                    + (
+                        np.arange(region, sets, n_regions, dtype=np.int64)[:, None]
+                        + ways[None, :] * sets
+                    )
+                    * bb
+                ).ravel().tolist()
                 frames = self._stores[group].allocate_run(blocks, region)
                 self._replacer.insert_many(group, region, frames)
-                k = 0
+                packed = [f | group_bits for f in frames]
+                it_b = iter(blocks)
+                it_p = iter(packed)
                 for index in indices:
-                    tag_set = self._tags[index]
-                    for _ in ways:
-                        tag_set[blocks[k]] = frames[k] | group_bits
-                        k += 1
+                    self._tags[index].update(
+                        zip(islice(it_b, ways_per_group), islice(it_p, ways_per_group))
+                    )
         # Per-set data LRU: dummies way-ascending, as the original
         # per-way loop inserted them.
-        for index in range(sets):
-            self._data_lru[index].insert_many(
-                base + (way * sets + index) * bb for way in range(assoc)
+        rows = (
+            base
+            + (
+                np.arange(sets, dtype=np.int64)[:, None]
+                + np.arange(assoc, dtype=np.int64)[None, :] * sets
             )
+            * bb
+        ).tolist()
+        data_lru = self._data_lru
+        for index, row in enumerate(rows):
+            data_lru[index].insert_many(row)
 
     # --- introspection / verification ---
 

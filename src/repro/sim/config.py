@@ -39,16 +39,23 @@ from repro.nurapid.config import (
 KB = 1024
 MB = 1024 * 1024
 
-#: Replay engines (see :mod:`repro.sim.fastpath`).  Both are
-#: bit-identical; "fast" is the array-backed fused kernel, "legacy"
-#: the original per-object loop kept as the parity reference.
-ENGINES = ("legacy", "fast")
+#: Replay engines.  "legacy" is the original per-object loop kept as
+#: the parity reference; "fast" the array-backed fused kernel
+#: (:mod:`repro.sim.fastpath`); "vectorized" adds the numpy chunked
+#: hit-run pre-pass (:mod:`repro.sim.vectorized`).  Those three are
+#: bit-identical.  "approx" (:mod:`repro.sim.approx`) is the opt-in
+#: analytical fast-forward tier: same result schema, tolerance-gated
+#: accuracy instead of bit identity.
+ENGINES = ("legacy", "fast", "vectorized", "approx")
+
+#: Engines held to byte-identical results by the parity gate.
+EXACT_ENGINES = ("legacy", "fast", "vectorized")
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
-    """Pick the replay engine: explicit setting, else $REPRO_ENGINE, else fast."""
+    """Pick the replay engine: explicit setting, else $REPRO_ENGINE, else vectorized."""
     if engine is None:
-        engine = os.environ.get("REPRO_ENGINE", "").strip() or "fast"
+        engine = os.environ.get("REPRO_ENGINE", "").strip() or "vectorized"
     if engine not in ENGINES:
         raise ConfigurationError(
             f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
@@ -69,8 +76,11 @@ class SystemConfig:
     #: Optional runtime fault campaign applied to the cache under study
     #: (the first level below the L1s).  None disables all fault hooks.
     faults: Optional[FaultPlan] = None
-    #: Replay engine: "legacy" | "fast" | None (= $REPRO_ENGINE, else
-    #: "fast").  Both engines are bit-identical; see repro.sim.fastpath.
+    #: Replay engine: "legacy" | "fast" | "vectorized" | "approx" |
+    #: None (= $REPRO_ENGINE, else "vectorized").  The first three are
+    #: bit-identical (see repro.sim.fastpath / repro.sim.vectorized);
+    #: "approx" trades bit identity for an analytical fast-forward
+    #: with tolerance-gated accuracy (see repro.sim.approx).
     engine: Optional[str] = None
 
     def __post_init__(self) -> None:

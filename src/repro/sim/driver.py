@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.common.errors import ConfigurationError
 from repro.cpu.core import CoreModel
 from repro.cpu.wattch import ProcessorEnergyModel
-from repro.sim import fastpath
+from repro.sim import fastpath, vectorized
 from repro.sim.config import SystemConfig, build_system, resolve_engine
 from repro.sim.results import RunResult, SuiteResult
 from repro.telemetry import (
@@ -95,13 +95,23 @@ def _replay(
     """The hot loop: advance the core and walk the hierarchy.
 
     ``engine="fast"`` dispatches to the fused array-backed kernel
-    (:mod:`repro.sim.fastpath`), which is bit-identical to this loop.
-    ``collect`` receives every per-reference AccessResult (parity
-    tests only — it slows both engines down).
+    (:mod:`repro.sim.fastpath`); ``engine="vectorized"`` to the numpy
+    chunked kernel (:mod:`repro.sim.vectorized`).  Both are
+    bit-identical to this loop.  ``collect`` receives every
+    per-reference AccessResult (parity tests only — it slows every
+    engine down).
     """
+    if engine == "vectorized":
+        vectorized.replay(system, core, trace, collect=collect)
+        return
     if engine == "fast":
         fastpath.replay(system, core, trace, collect=collect)
         return
+    if engine == "approx":
+        raise ConfigurationError(
+            "approx is an analytical engine with no per-reference replay "
+            "loop; run_benchmark dispatches it before replay"
+        )
     hierarchy = system.hierarchy
     advance = core.advance_instructions
     note = core.note_memory_result
@@ -260,6 +270,18 @@ def run_benchmark(
             trace = generate_trace(
                 profile, n_references, seed=seed, warm_set_conflict=warm_set_conflict
             )
+    if engine == "approx":
+        if session is not None:
+            raise ConfigurationError(
+                "telemetry requires an exact engine; approx synthesizes "
+                "aggregates and has no per-reference events to record"
+            )
+        from repro.sim import approx
+
+        return approx.estimate(
+            config, benchmark, profile, trace, warmup_fraction,
+            energy_model=energy_model,
+        )
     with profiler.phase("build"):
         system = make_system(config, prewarm=prewarm)
     warm, measured = trace.split(warmup_fraction)

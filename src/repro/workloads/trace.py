@@ -44,6 +44,37 @@ class DecodedTrace:
 
 
 @dataclass(frozen=True)
+class BatchDecodedTrace:
+    """A trace decoded for the vectorized replay kernel.
+
+    Carries the same plain-list columns as :class:`DecodedTrace` (the
+    scalar tail loop wants unboxed Python ints) *plus* the numpy
+    columns the chunked pre-pass slices wholesale.  Produced once per
+    (block_bytes, n_sets) geometry by :meth:`Trace.decoded_batch` and
+    cached on the trace, so warmup and measured replays of the same
+    split share the decode work.
+    """
+
+    gaps: List[int]
+    addresses: List[int]
+    writes: List[bool]
+    block_addrs: List[int]
+    set_indices: List[int]
+    #: First frame of each reference's set (``2 * set_index`` for the
+    #: 2-way L1), as plain ints for the scalar tail loop.
+    frames: List[int]
+    #: Numpy views for the chunk kernel: int64 gaps/block addresses,
+    #: int64 doubled set indices, and the write flags as a bool array.
+    np_gaps: np.ndarray
+    np_block_addrs: np.ndarray
+    np_frames: np.ndarray
+    np_writes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.gaps)
+
+
+@dataclass(frozen=True)
 class Trace:
     """Columnar reference trace plus its provenance."""
 
@@ -95,6 +126,11 @@ class Trace:
             raise ConfigurationError(
                 f"set count must be a positive power of two, got {n_sets}"
             )
+        if not len(self.gaps):
+            raise ConfigurationError(
+                f"trace '{self.benchmark}' is empty; nothing to decode "
+                "(generate or load references before replaying)"
+            )
         addresses = np.asarray(self.addresses, dtype=np.int64)
         baddrs = addresses & ~np.int64(block_bytes - 1)
         shift = block_bytes.bit_length() - 1
@@ -106,6 +142,41 @@ class Trace:
             block_addrs=baddrs.tolist(),
             set_indices=indices.tolist(),
         )
+
+    def decoded_batch(self, block_bytes: int, n_sets: int) -> BatchDecodedTrace:
+        """Decode for the vectorized kernel, cached per geometry.
+
+        Same validation and list columns as :meth:`decoded`, plus the
+        numpy columns the chunked pre-pass consumes.  The result is
+        memoized on the trace (keyed by geometry) because the driver
+        replays the same trace object once for warmup and once
+        measured.
+        """
+        key = (block_bytes, n_sets)
+        cache = getattr(self, "_batch_cache", None)
+        if cache is not None and key in cache:
+            return cache[key]
+        plain = self.decoded(block_bytes, n_sets)
+        baddrs = np.asarray(plain.block_addrs, dtype=np.int64)
+        frames = np.asarray(plain.set_indices, dtype=np.int64)
+        frames = frames + frames
+        batch = BatchDecodedTrace(
+            gaps=plain.gaps,
+            addresses=plain.addresses,
+            writes=plain.writes,
+            block_addrs=plain.block_addrs,
+            set_indices=plain.set_indices,
+            frames=frames.tolist(),
+            np_gaps=np.asarray(self.gaps, dtype=np.int64),
+            np_block_addrs=baddrs,
+            np_frames=frames,
+            np_writes=np.asarray(self.writes, dtype=bool),
+        )
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_batch_cache", cache)
+        cache[key] = batch
+        return batch
 
     def head(self, n: int) -> "Trace":
         """First ``n`` records (used for warmup splits and quick runs)."""

@@ -8,6 +8,7 @@ as the legacy loop.  These tests hold it to that across the config
 matrix and multiple seeds, including checkpointed parallel sweeps.
 """
 
+import random
 from dataclasses import replace
 
 import pytest
@@ -18,7 +19,7 @@ from repro.faults.models import FaultPlan, HardFaultEvent
 from repro.nurapid.config import DistanceReplacementKind, PromotionPolicy
 from repro.sim import fastpath
 from repro.sim.config import (
-    ENGINES,
+    EXACT_ENGINES,
     SystemConfig,
     base_config,
     dnuca_config,
@@ -33,7 +34,7 @@ from repro.sim.sweep import Sweep, SweepAxis
 from repro.telemetry import TelemetryConfig
 from repro.telemetry.report import merge_payloads, render_report
 from repro.workloads.spec2k import get_benchmark
-from repro.workloads.tracegen import generate_trace
+from repro.workloads.tracegen import TraceGenerator, generate_trace
 
 REFS = 6_000
 WARMUP = 0.25
@@ -79,9 +80,9 @@ def run_dict(config, benchmark, seed, engine, telemetry=None):
 
 
 class TestEngineSelection:
-    def test_default_is_fast(self, monkeypatch):
+    def test_default_is_vectorized(self, monkeypatch):
         monkeypatch.delenv("REPRO_ENGINE", raising=False)
-        assert resolve_engine(None) == "fast"
+        assert resolve_engine(None) == "vectorized"
 
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_ENGINE", "legacy")
@@ -109,8 +110,8 @@ class TestResultParity:
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_summary_identical(self, config, seed):
         legacy = run_dict(config, "twolf", seed, "legacy")
-        fast = run_dict(config, "twolf", seed, "fast")
-        assert legacy == fast
+        for engine in EXACT_ENGINES[1:]:
+            assert legacy == run_dict(config, "twolf", seed, engine), engine
 
     @pytest.mark.parametrize(
         "config",
@@ -119,13 +120,14 @@ class TestResultParity:
     )
     def test_telemetry_report_byte_identical(self, config):
         reports = {}
-        for engine in ENGINES:
+        for engine in EXACT_ENGINES:
             payload = run_dict(
                 config, "galgel", 1, engine, telemetry=TelemetryConfig()
             )
             telem = payload.pop("telemetry")
             reports[engine] = render_report(merge_payloads([("cell", telem)]))
         assert reports["legacy"] == reports["fast"]
+        assert reports["legacy"] == reports["vectorized"]
         assert reports["fast"].startswith("== telemetry report ==")
 
 
@@ -138,7 +140,7 @@ class TestAccessResultSequence:
     def test_per_reference_results_identical(self, config):
         trace = trace_for("galgel", 0)
         sequences = {}
-        for engine in ENGINES:
+        for engine in EXACT_ENGINES:
             system = make_system(config)
             profile = get_benchmark("galgel")
             core = CoreModel(
@@ -153,6 +155,7 @@ class TestAccessResultSequence:
             sequences[engine] = collected
         assert len(sequences["legacy"]) == len(trace)
         assert sequences["legacy"] == sequences["fast"]
+        assert sequences["legacy"] == sequences["vectorized"]
 
 
 class TestFaultParity:
@@ -172,12 +175,13 @@ class TestFaultParity:
     def test_fault_outcomes_identical(self, seed):
         config = self.transient_config()
         outcomes = {}
-        for engine in ENGINES:
+        for engine in EXACT_ENGINES:
             try:
                 outcomes[engine] = ("ok", run_dict(config, "galgel", seed, engine))
             except UncorrectableDataError as exc:
                 outcomes[engine] = ("due", str(exc))
         assert outcomes["legacy"] == outcomes["fast"]
+        assert outcomes["legacy"] == outcomes["vectorized"]
 
     def test_uncorrectable_raises_in_both_engines(self):
         # Wide upsets over a 2-word interleave defeat SEC-DED, so a
@@ -193,11 +197,12 @@ class TestFaultParity:
             )
         )
         errors = {}
-        for engine in ENGINES:
+        for engine in EXACT_ENGINES:
             with pytest.raises(UncorrectableDataError) as info:
                 run_dict(config, "twolf", 3, engine)
             errors[engine] = str(info.value)
         assert errors["legacy"] == errors["fast"]
+        assert errors["legacy"] == errors["vectorized"]
 
 
 class TestFallback:
@@ -272,3 +277,53 @@ class TestSweepParity:
             "fast", monkeypatch, jobs=2, checkpoint_path=path
         )
         assert resumed == legacy
+
+
+class TestRandomizedVectorizedParity:
+    """Property-style: the vectorized probe equals the scalar loop.
+
+    Randomized traces (seeded, so reproducible) exercise the L1
+    hit/miss/dirty/LRU state machine under varying set-conflict
+    pressure, with and without lower-level prewarm; every sample must
+    replay bit-identically under the scalar fast engine and the
+    chunked vectorized kernel.
+    """
+
+    CASE_COUNT = 8
+
+    def _cases(self):
+        rng = random.Random(0xC0FFEE)
+        names = ["twolf", "art", "mcf", "mesa", "galgel"]
+        for index in range(self.CASE_COUNT):
+            yield {
+                "benchmark": rng.choice(names),
+                "seed": rng.randrange(1 << 16),
+                "conflict": rng.choice([1, 2, 4, 8, 16]),
+                "prewarm": rng.random() < 0.5,
+                "refs": rng.choice([1500, 3000, 5000]),
+                "config": rng.choice(
+                    [base_config, nurapid_config, snuca_config]
+                )(),
+            }
+
+    @pytest.mark.parametrize("case_index", range(CASE_COUNT))
+    def test_random_trace_parity(self, case_index):
+        case = list(self._cases())[case_index]
+        profile = get_benchmark(case["benchmark"])
+        generator = TraceGenerator(
+            profile, seed=case["seed"], warm_set_conflict=case["conflict"]
+        )
+        trace = generator.generate(case["refs"])
+        payloads = {}
+        for engine in ("fast", "vectorized"):
+            result = run_benchmark(
+                replace(case["config"], engine=engine),
+                case["benchmark"],
+                n_references=case["refs"],
+                seed=case["seed"],
+                warmup_fraction=WARMUP,
+                trace=trace,
+                prewarm=case["prewarm"],
+            )
+            payloads[engine] = run_result_to_dict(result)
+        assert payloads["fast"] == payloads["vectorized"], case

@@ -209,3 +209,58 @@ class TestTraceGenerator:
     def test_invalid_conflict(self):
         with pytest.raises(ConfigurationError):
             TraceGenerator(get_benchmark("art"), warm_set_conflict=0)
+
+
+class TestDecodedValidation:
+    """Trace.decoded / decoded_batch reject geometry they cannot mask."""
+
+    def _trace(self, n=16):
+        p = get_benchmark("art")
+        return generate_trace(p, n, seed=3)
+
+    def test_non_power_of_two_block_bytes(self):
+        t = self._trace()
+        with pytest.raises(ConfigurationError, match="power of two"):
+            t.decoded(block_bytes=48, n_sets=64)
+
+    def test_non_power_of_two_sets(self):
+        t = self._trace()
+        with pytest.raises(ConfigurationError, match="power of two"):
+            t.decoded(block_bytes=32, n_sets=12)
+
+    def test_non_positive_geometry(self):
+        t = self._trace()
+        with pytest.raises(ConfigurationError):
+            t.decoded(block_bytes=0, n_sets=64)
+        with pytest.raises(ConfigurationError):
+            t.decoded(block_bytes=32, n_sets=-8)
+
+    def test_empty_trace(self):
+        empty = Trace(
+            benchmark="empty",
+            gaps=np.zeros(0, dtype=np.int64),
+            addresses=np.zeros(0, dtype=np.int64),
+            writes=np.zeros(0, dtype=bool),
+        )
+        with pytest.raises(ConfigurationError, match="empty"):
+            empty.decoded(block_bytes=32, n_sets=64)
+
+    def test_batch_shares_validation(self):
+        t = self._trace()
+        with pytest.raises(ConfigurationError, match="power of two"):
+            t.decoded_batch(block_bytes=48, n_sets=64)
+        empty = Trace(
+            benchmark="empty",
+            gaps=np.zeros(0, dtype=np.int64),
+            addresses=np.zeros(0, dtype=np.int64),
+            writes=np.zeros(0, dtype=bool),
+        )
+        with pytest.raises(ConfigurationError, match="empty"):
+            empty.decoded_batch(block_bytes=32, n_sets=64)
+
+    def test_valid_geometry_decodes(self):
+        t = self._trace()
+        d = t.decoded(block_bytes=32, n_sets=64)
+        assert len(d.block_addrs) == len(t)
+        assert all(b % 32 == 0 for b in d.block_addrs)
+        assert all(0 <= s < 64 for s in d.set_indices)
