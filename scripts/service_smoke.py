@@ -1,0 +1,166 @@
+"""CI smoke for the simulation service, against a *real* server process.
+
+The in-process suite (tests/test_service.py) proves the semantics;
+this script proves the deployment story: boot ``python -m
+repro.service serve`` as a subprocess, drive it with two concurrent
+clients, check byte-parity against a direct ``run_suite``, then
+``kill -9`` the server mid-grid and show a restarted server resumes
+from the content-addressed store — finished cells come back as memo
+hits, the rest recompute, and the final payloads are byte-identical
+to an uninterrupted run.
+
+Run:  python scripts/service_smoke.py [n_references]
+"""
+
+import dataclasses
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import GridRequest, ServiceClient, config_spec
+from repro.service.protocol import canonical_json
+from repro.sim.config import nurapid_config, snuca_config
+from repro.sim.driver import run_suite
+from repro.sim.results import run_result_to_dict
+
+PORT = 8911
+URL = f"http://127.0.0.1:{PORT}"
+BENCHMARKS = ["twolf", "galgel"]
+
+
+def boot_server(store_dir: str, jobs: int) -> subprocess.Popen:
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "serve",
+            "--store", store_dir, "--port", str(PORT), "--jobs", str(jobs),
+        ],
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src"),
+             os.environ.get("PYTHONPATH", "")])},
+    )
+    ServiceClient(URL).wait_healthy(timeout=30.0)
+    return process
+
+
+def request(n_references: int, client: str) -> GridRequest:
+    return GridRequest(
+        configs=[config_spec("nurapid"), config_spec("s-nuca")],
+        benchmarks=BENCHMARKS,
+        n_references=n_references,
+        warmup_fraction=0.4,
+        engine="vectorized",
+        client=client,
+    )
+
+
+def submit_and_wait(name: str, n_references: int) -> dict:
+    client = ServiceClient(URL)
+    return client.wait(str(client.submit(request(n_references, name))["job"]))
+
+
+def check_parity(status: dict, n_references: int) -> None:
+    suites = ServiceClient.suites(status)
+    for config in (
+        dataclasses.replace(nurapid_config(), engine="vectorized"),
+        dataclasses.replace(snuca_config(), engine="vectorized"),
+    ):
+        direct = run_suite(
+            config, BENCHMARKS, n_references=n_references,
+            seed=0, warmup_fraction=0.4,
+        )
+        for bench in BENCHMARKS:
+            served = canonical_json(
+                run_result_to_dict(suites[config.name].runs[bench])
+            )
+            expected = canonical_json(run_result_to_dict(direct.runs[bench]))
+            assert served == expected, f"{config.name}/{bench} diverged"
+
+
+def main() -> None:
+    n_references = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    with tempfile.TemporaryDirectory() as store_dir:
+        # Phase 1: two concurrent clients race an identical grid.
+        server = boot_server(store_dir, jobs=2)
+        try:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                alice, bob = pool.map(
+                    lambda name: submit_and_wait(name, n_references),
+                    ("alice", "bob"),
+                )
+            assert all(
+                canonical_json(a["payload"]) == canonical_json(b["payload"])
+                for a, b in zip(alice["cells"], bob["cells"])
+            ), "concurrent clients got different payloads"
+            check_parity(alice, n_references)
+            print(f"phase 1 ok: 2 clients x {len(alice['cells'])} cells, "
+                  "byte-identical to run_suite")
+
+            # Phase 2: submit a fresh (different-seed) grid and SIGKILL
+            # the server once at least one cell has landed in the store.
+            fresh = dataclasses.replace(
+                request(n_references, "carol"), seed=7
+            )
+            client = ServiceClient(URL)
+            job = str(client.submit(fresh)["job"])
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                done = [
+                    c for c in client.job(job)["cells"]
+                    if c["status"] in ("ok", "hit")
+                ]
+                if done:
+                    break
+                time.sleep(0.05)
+            assert done, "no cell completed before the kill window"
+            os.kill(server.pid, signal.SIGKILL)
+            server.wait()
+            print(f"phase 2: killed server with {len(done)}/4 cells stored")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+        # Phase 3: a restarted server resumes from the store.
+        server = boot_server(store_dir, jobs=2)
+        try:
+            client = ServiceClient(URL)
+            submission = client.submit(
+                dataclasses.replace(request(n_references, "carol"), seed=7)
+            )
+            hits = submission["memo_hits"]
+            assert hits >= len(done), (
+                f"restart lost stored cells: {hits} hits < {len(done)}"
+            )
+            status = client.wait(str(submission["job"]))
+            assert all(
+                c["status"] in ("ok", "hit") for c in status["cells"]
+            ), "resumed grid did not complete"
+            # The resumed grid must match an uninterrupted direct run.
+            suites = ServiceClient.suites(status)
+            config = dataclasses.replace(nurapid_config(), engine="vectorized")
+            direct = run_suite(
+                config, BENCHMARKS, n_references=n_references,
+                seed=7, warmup_fraction=0.4,
+            )
+            for bench in BENCHMARKS:
+                assert canonical_json(
+                    run_result_to_dict(suites[config.name].runs[bench])
+                ) == canonical_json(
+                    run_result_to_dict(direct.runs[bench])
+                ), f"post-restart {bench} diverged"
+            print(f"phase 3 ok: restart resumed {hits}/4 cells from store, "
+                  "byte-identical to an uninterrupted run")
+        finally:
+            server.terminate()
+            server.wait()
+    print("service smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,11 @@ wall-clock trajectory reviewers diff against::
 
     python -m repro.bench                       # defaults, appends entry
     python -m repro.bench --refs 60000 --jobs 2 --label ci
+    python -m repro.bench --service --min-service-throughput 0.5
+
+Each entry records the ``REPRO_ENGINE`` / ``REPRO_JOBS`` /
+``REPRO_TELEMETRY`` environment in effect, so ledger comparisons
+across machines and sessions stay honest.
 
 The harness is informational: it never fails on slow hardware, only on
 a serial/parallel result mismatch (which would mean the engine broke
@@ -222,6 +227,94 @@ def _time_supervised(
         config, benchmark = cells[payload["index"]]
         results[(config.name, benchmark)] = payload["result"]
     return {"total_s": round(total, 3), "results": results}
+
+
+def _time_service(
+    benchmarks: List[str],
+    refs: int,
+    seed: int,
+    warmup: float,
+    jobs: int,
+    clients: int,
+    serial_results: Dict[object, dict],
+) -> Dict[str, object]:
+    """Throughput of the job server under concurrent clients.
+
+    Boots an in-process server (fresh store), has ``clients`` threads
+    submit the standard workload simultaneously under distinct
+    fair-share identities, and measures wall-clock from first submit to
+    last completion.  Identical grids coalesce onto one computation, so
+    ``cells`` counts unique simulated cells while ``delivered`` counts
+    per-client deliveries; ``cells_per_s`` is the delivery rate — the
+    number a reviewer cares about when N users share one server.  Every
+    delivered payload is compared byte-for-byte against the serial
+    pass's results.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import GridRequest, canonical_json, config_spec
+    from repro.service.server import ServerConfig, serve_in_thread
+
+    specs = [config_spec("nurapid"), config_spec("s-nuca")]
+    engine = resolve_engine(None)
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+
+    def submit_and_wait(name: str):
+        local = ServiceClient(bg.url)
+        submission = local.submit(
+            GridRequest(
+                configs=specs,
+                benchmarks=benchmarks,
+                client=name,
+                n_references=refs,
+                seed=seed,
+                warmup_fraction=warmup,
+                engine=engine,
+            )
+        )
+        return local.wait(str(submission["job"]))
+
+    try:
+        with serve_in_thread(ServerConfig(store_dir=store_dir, jobs=jobs)) as bg:
+            probe = ServiceClient(bg.url)
+            probe.wait_healthy()
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                statuses = list(
+                    pool.map(
+                        submit_and_wait,
+                        [f"bench-{i}" for i in range(clients)],
+                    )
+                )
+            elapsed = time.perf_counter() - started
+            counters = probe.stats()["counters"]
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    identical = True
+    for status in statuses:
+        for cell in status["cells"]:
+            expected = serial_results.get((cell["config"], cell["benchmark"]))
+            delivered = (cell.get("payload") or {}).get("result")
+            if expected is None or delivered is None or canonical_json(
+                delivered
+            ) != canonical_json(expected):
+                identical = False
+
+    cells = len(specs) * len(benchmarks)
+    delivered_total = cells * clients
+    return {
+        "clients": clients,
+        "jobs": jobs,
+        "cells": cells,
+        "delivered": delivered_total,
+        "elapsed_s": round(elapsed, 3),
+        "cells_per_s": round(delivered_total / elapsed, 3) if elapsed else 0.0,
+        "memo_hits": int(counters.get("service.cells_memo_hits", 0)),
+        "coalesced": int(counters.get("service.cells_coalesced", 0)),
+        "identical": identical,
+    }
 
 
 def _strip_telemetry(results: Dict[object, dict]) -> Dict[object, dict]:
@@ -480,6 +573,28 @@ def main(argv=None) -> int:
         "this fraction slower than the plain parallel pass (e.g. 0.02)",
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="also time the workload through the repro.service job server "
+        "under concurrent clients, verify delivered payloads are "
+        "byte-identical to the serial pass, and record cells/sec",
+    )
+    parser.add_argument(
+        "--service-clients",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent clients for --service (default 2)",
+    )
+    parser.add_argument(
+        "--min-service-throughput",
+        type=float,
+        default=None,
+        metavar="CELLS_PER_S",
+        help="with --service, fail if delivery throughput falls below "
+        "this many cells/sec",
+    )
+    parser.add_argument(
         "--against",
         default=None,
         metavar="LEDGER_OR_LABEL",
@@ -497,6 +612,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.repetitions < 1:
         parser.error("--repetitions must be >= 1")
+    if args.service_clients < 1:
+        parser.error("--service-clients must be >= 1")
     cpus = os.cpu_count() or 1
     jobs = args.jobs or min(4, cpus)
     oversubscribed = jobs > cpus
@@ -578,6 +695,17 @@ def main(argv=None) -> int:
                 args.warmup,
                 jobs,
             )
+        service: Optional[Dict[str, object]] = None
+        if args.service:
+            service = _time_service(
+                benchmarks,
+                args.refs,
+                args.seed,
+                args.warmup,
+                jobs,
+                args.service_clients,
+                serial["results"],  # type: ignore[arg-type]
+            )
         instrumented: Optional[Dict[str, object]] = None
         if args.telemetry_overhead:
             instrumented = _time_serial(
@@ -612,6 +740,13 @@ def main(argv=None) -> int:
         "benchmarks": benchmarks,
         "configs": [c.name for c in configs],
         "engine": resolve_engine(None),
+        # The REPRO_* environment in effect: without these a ledger
+        # entry timed under REPRO_ENGINE=legacy would silently compare
+        # against one timed under the vectorized default.
+        "env": {
+            name: os.environ.get(name)
+            for name in ("REPRO_ENGINE", "REPRO_JOBS", "REPRO_TELEMETRY")
+        },
         "repetitions": args.repetitions,
         "jobs": jobs,
         "oversubscribed": oversubscribed,
@@ -648,6 +783,11 @@ def main(argv=None) -> int:
         entry["supervised_s"] = supervised["total_s"]
         entry["supervised_overhead"] = round(supervised_overhead, 3)
         entry["supervised_identical"] = supervised_identical
+
+    service_identical = True
+    if service is not None:
+        service_identical = bool(service["identical"])
+        entry["service"] = service
 
     telemetry_identical = True
     if instrumented is not None:
@@ -695,6 +835,23 @@ def main(argv=None) -> int:
                     f"{baseline_s}s by more than "
                     f"{args.max_regression:.0%} (allowed {allowed:.3f}s)"
                 )
+            baseline_service = base.get("service")
+            if (
+                regression_failure is None
+                and service is not None
+                and isinstance(baseline_service, dict)
+                and baseline_service.get("clients") == service["clients"]
+            ):
+                baseline_rate = float(baseline_service["cells_per_s"])
+                floor = baseline_rate * (1.0 - args.max_regression)
+                entry["against_service_cells_per_s"] = baseline_rate
+                if float(service["cells_per_s"]) < floor:
+                    regression_failure = (
+                        f"service throughput {service['cells_per_s']} "
+                        f"cells/s fell below baseline {baseline_rate} by "
+                        f"more than {args.max_regression:.0%} "
+                        f"(floor {floor:.3f})"
+                    )
 
     ledger = load_ledger(args.out)
     ledger["format"] = LEDGER_FORMAT
@@ -739,6 +896,14 @@ def main(argv=None) -> int:
             f"overhead vs pool {entry['supervised_overhead']:+.1%} | "
             f"identical={supervised_identical}"
         )
+    if service is not None:
+        print(
+            f"service(jobs={service['jobs']}, "
+            f"clients={service['clients']}) {service['elapsed_s']}s | "
+            f"{service['cells_per_s']} cells/s delivered | "
+            f"coalesced={service['coalesced']} | "
+            f"identical={service_identical}"
+        )
     if instrumented is not None:
         print(
             f"telemetry serial {instrumented['total_s']}s | "
@@ -761,6 +926,19 @@ def main(argv=None) -> int:
             "ERROR: supervised overhead "
             f"{entry['supervised_overhead']:+.1%} exceeds allowed "
             f"{args.max_supervised_overhead:.1%}"
+        )
+        return 1
+    if not service_identical:
+        print("ERROR: service payloads diverge from serial — server bug")
+        return 1
+    if (
+        service is not None
+        and args.min_service_throughput is not None
+        and float(service["cells_per_s"]) < args.min_service_throughput
+    ):
+        print(
+            f"ERROR: service throughput {service['cells_per_s']} cells/s "
+            f"below required floor {args.min_service_throughput}"
         )
         return 1
     if not telemetry_identical:

@@ -1,0 +1,42 @@
+"""Simulation-as-a-service: async job server over the cell executor.
+
+The package stands the simulator up as a long-lived server process:
+
+* :mod:`repro.service.store` — a content-addressed result store keyed
+  by :func:`repro.sim.parallel.cell_fingerprint` (config fingerprint x
+  trace parameters x engine x telemetry), with ``FileLock``-serialized
+  writes, sha256 sidecars, and last-N eviction.  Shared by the server,
+  ``run_suite(result_store=...)``, and ``Sweep(result_store=...)``.
+* :mod:`repro.service.scheduler` — a bounded fair-share queue with
+  per-client quotas and deficit-round-robin dispatch.
+* :mod:`repro.service.protocol` — the JSON wire format: grid requests,
+  config specs, NDJSON progress events.
+* :mod:`repro.service.server` — the asyncio HTTP/1.1 server (stdlib
+  only) scheduling cells onto the existing
+  :class:`~repro.sim.parallel.CellTask` executor.
+* :mod:`repro.service.client` — a blocking client for tests, examples,
+  and the CLI.
+
+Start a server with ``python -m repro.service serve``; see the README
+"Serving simulations" section for the full tour.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import GridRequest, build_config, config_spec
+from repro.service.scheduler import FairShareScheduler, QuotaExceeded
+from repro.service.server import ServerConfig, SimulationServer, serve_in_thread
+from repro.service.store import ResultStore
+
+__all__ = [
+    "FairShareScheduler",
+    "GridRequest",
+    "QuotaExceeded",
+    "ResultStore",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationServer",
+    "build_config",
+    "config_spec",
+    "serve_in_thread",
+]

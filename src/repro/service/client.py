@@ -1,0 +1,186 @@
+"""A blocking HTTP client for the simulation service.
+
+Stdlib only (``http.client``), one connection per call (the server
+speaks ``Connection: close``).  The client exists so tests, examples,
+and the CLI never hand-roll HTTP::
+
+    client = ServiceClient("http://127.0.0.1:8753")
+    submission = client.submit(GridRequest(
+        configs=[config_spec("nurapid"), config_spec("s-nuca")],
+        benchmarks=["gzip", "gcc"],
+        client="alice",
+        n_references=60_000,
+    ))
+    status = client.wait(submission["job"])
+    suite_results = client.suites(status)   # {config_name: SuiteResult}
+
+:meth:`ServiceClient.events` yields the job's NDJSON progress events as
+dicts, replaying history first, so a client reconnecting after a drop
+misses nothing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.common.errors import ReproError
+from repro.service.protocol import GridRequest
+from repro.sim.results import RunResult, SuiteResult, run_result_from_dict
+
+
+class ServiceError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one server; safe to share across threads (no state)."""
+
+    def __init__(self, url: str, timeout: float = 300.0) -> None:
+        parsed = urllib.parse.urlparse(url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ReproError(
+                f"service URLs look like http://host:port, got {url!r}"
+            )
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # --- plumbing ---
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Connection": "close"}
+            encoded = None
+            if body is not None:
+                encoded = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, str(payload.get("error", raw))
+                )
+            if not isinstance(payload, dict):
+                raise ServiceError(response.status, f"non-object body {raw!r}")
+            return payload
+        finally:
+            conn.close()
+
+    # --- endpoints ---
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/v1/healthz").get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    def wait_healthy(self, timeout: float = 30.0, interval: float = 0.1) -> None:
+        """Block until the server answers health checks (or raise)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.healthy():
+                return
+            time.sleep(interval)
+        raise ServiceError(503, f"service not healthy within {timeout}s")
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(
+        self, request: Union[GridRequest, Mapping[str, object]]
+    ) -> Dict[str, object]:
+        """POST a grid; returns the submission summary (job id, hits)."""
+        payload = (
+            request.to_payload()
+            if isinstance(request, GridRequest)
+            else dict(request)
+        )
+        return self._request("POST", "/v1/jobs", body=payload)
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str) -> Iterator[Dict[str, object]]:
+        """Stream the job's NDJSON events; ends after the ``done`` event."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "GET", f"/v1/jobs/{job_id}/events",
+                headers={"Connection": "close"},
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except (json.JSONDecodeError, AttributeError):
+                    message = raw
+                raise ServiceError(response.status, str(message))
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str) -> Dict[str, object]:
+        """Block until the job finishes; returns its final status payload."""
+        for event in self.events(job_id):
+            if event.get("event") == "done":
+                break
+        return self.job(job_id)
+
+    # --- result reshaping ---
+
+    @staticmethod
+    def run_results(status: Mapping[str, object]) -> List[RunResult]:
+        """The job's cells as :class:`RunResult`, in grid order.
+
+        Raises :class:`ServiceError` if any cell failed or is still
+        pending — callers wanting partial results walk ``cells``
+        themselves.
+        """
+        results: List[RunResult] = []
+        for cell in status.get("cells", ()):  # type: ignore[union-attr]
+            if cell["status"] not in ("ok", "hit"):
+                raise ServiceError(
+                    500,
+                    f"cell {cell['index']} ({cell['config']}/"
+                    f"{cell['benchmark']}) is {cell['status']}",
+                )
+            results.append(run_result_from_dict(cell["payload"]["result"]))
+        return results
+
+    @classmethod
+    def suites(cls, status: Mapping[str, object]) -> Dict[str, SuiteResult]:
+        """The job reshaped as ``run_suite`` outputs: name -> SuiteResult."""
+        suites: Dict[str, Dict[str, RunResult]] = {}
+        for cell, result in zip(status["cells"], cls.run_results(status)):  # type: ignore[index]
+            suites.setdefault(cell["config"], {})[cell["benchmark"]] = result
+        return {
+            name: SuiteResult(config_name=name, runs=runs)
+            for name, runs in suites.items()
+        }

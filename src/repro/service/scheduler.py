@@ -1,0 +1,138 @@
+"""Bounded fair-share queueing with deficit-round-robin dispatch.
+
+The server cannot let one enthusiastic client monopolize the worker
+pool: a tenant submitting a 500-cell grid must not starve a tenant
+submitting a single cell.  The classic answer (Shreedhar & Varghese's
+deficit round robin) fits exactly: each client gets a FIFO queue and a
+*deficit counter*; the dispatcher visits active clients in round-robin
+order, tops the visited client's deficit up by a fixed ``quantum``,
+and dispatches that client's head cell only when the deficit covers
+the cell's *cost* (here: its reference count, the honest proxy for
+compute time).  Cheap cells therefore interleave freely while a
+monster cell just makes its owner skip turns — long-run service is
+proportional regardless of per-cell sizes.
+
+Admission is bounded, not blocking: a client with ``quota`` cells
+already queued gets :class:`QuotaExceeded` (the server maps it to HTTP
+429) instead of growing the queue without bound.
+
+All mutation happens on the server's event loop, so ``put`` is a plain
+synchronous call; only ``get`` awaits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, ReproError
+
+
+class QuotaExceeded(ReproError):
+    """The client's queue is full; admission refused."""
+
+
+class FairShareScheduler:
+    """Per-client FIFOs dispatched by deficit round robin.
+
+    ``quota`` bounds each client's queued (not yet dispatched) cells.
+    ``quantum`` is the deficit refill per visit, in the same units as
+    item costs; one typical cell's cost is a good value — larger
+    quanta approach per-client FIFO bursts, smaller ones add rotation
+    overhead without changing long-run shares.
+    """
+
+    def __init__(self, quota: int = 256, quantum: float = 120_000.0) -> None:
+        if quota < 1:
+            raise ConfigurationError(f"quota must be >= 1, got {quota}")
+        if quantum <= 0:
+            raise ConfigurationError(f"quantum must be positive, got {quantum}")
+        self.quota = quota
+        self.quantum = quantum
+        self._queues: Dict[str, Deque[Tuple[object, float]]] = {}
+        self._ring: Deque[str] = deque()
+        self._deficits: Dict[str, float] = {}
+        self._depth = 0
+        self._closed = False
+        self._wakeup = asyncio.Event()
+
+    # --- admission ---
+
+    def room(self, client: str) -> int:
+        """How many more cells ``client`` may queue right now."""
+        return self.quota - len(self._queues.get(client, ()))
+
+    def put(self, client: str, item: object, cost: float = 1.0) -> None:
+        """Queue one item for ``client``; never blocks.
+
+        Raises :class:`QuotaExceeded` when the client's queue is full
+        and :class:`ConfigurationError` after :meth:`close`.
+        """
+        if self._closed:
+            raise ConfigurationError("scheduler is closed")
+        if cost <= 0:
+            raise ConfigurationError(f"cost must be positive, got {cost}")
+        queue = self._queues.setdefault(client, deque())
+        if len(queue) >= self.quota:
+            raise QuotaExceeded(
+                f"client {client!r} has {len(queue)} cells queued "
+                f"(quota {self.quota})"
+            )
+        if not queue:
+            self._ring.append(client)
+            self._deficits.setdefault(client, 0.0)
+        queue.append((item, cost))
+        self._depth += 1
+        self._wakeup.set()
+
+    # --- dispatch ---
+
+    def _next(self) -> Optional[Tuple[str, object]]:
+        while self._ring:
+            client = self._ring[0]
+            queue = self._queues.get(client)
+            if not queue:
+                self._ring.popleft()
+                self._deficits.pop(client, None)
+                continue
+            cost = queue[0][1]
+            if self._deficits[client] >= cost:
+                item, cost = queue.popleft()
+                self._deficits[client] -= cost
+                self._depth -= 1
+                if not queue:
+                    # An emptied queue leaves the ring and forfeits its
+                    # remaining deficit — credit must not accrue while idle.
+                    self._ring.popleft()
+                    self._deficits.pop(client, None)
+                return client, item
+            self._deficits[client] += self.quantum
+            self._ring.rotate(-1)
+        return None
+
+    async def get(self) -> Optional[Tuple[str, object]]:
+        """The next ``(client, item)`` by DRR; None once closed and drained."""
+        while True:
+            got = self._next()
+            if got is not None:
+                return got
+            if self._closed:
+                return None
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    # --- introspection / shutdown ---
+
+    def depth(self) -> int:
+        """Cells queued across all clients."""
+        return self._depth
+
+    def depths(self) -> Dict[str, int]:
+        """Queued cells per client (only clients with pending work)."""
+        return {c: len(q) for c, q in self._queues.items() if q}
+
+    def close(self) -> None:
+        """Stop admissions; waiting getters drain the queue, then get None."""
+        self._closed = True
+        self._wakeup.set()

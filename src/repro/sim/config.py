@@ -15,6 +15,10 @@ at 130 + 4/8B cycles — and differs only in what sits below the L1s:
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Optional
@@ -61,6 +65,30 @@ def resolve_engine(engine: Optional[str] = None) -> str:
             f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
         )
     return engine
+
+
+def _fingerprint_default(value: object) -> object:
+    if isinstance(value, enum.Enum):
+        return value.value
+    return str(value)
+
+
+def config_fingerprint(config: "SystemConfig") -> str:
+    """Content hash of every field that can influence a run's results.
+
+    The canonical JSON of the config's full dataclass tree (enums by
+    value), hashed with sha256.  Two configs with equal fingerprints
+    produce byte-identical :class:`~repro.sim.results.RunResult`
+    payloads for the same cell parameters, which is what makes the
+    fingerprint usable as a content-address component for memoized
+    results (:mod:`repro.service.store`).  Note that ``engine=None``
+    fingerprints as None — resolution against ``$REPRO_ENGINE`` is
+    environment-dependent, so memo keys resolve the engine separately
+    (:func:`repro.sim.parallel.cell_fingerprint`).
+    """
+    payload = dataclasses.asdict(config)
+    encoded = json.dumps(payload, sort_keys=True, default=_fingerprint_default)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

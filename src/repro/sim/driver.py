@@ -373,6 +373,7 @@ def run_suite(
     jobs: int = 1,
     trace_cache_dir: Optional[str] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    result_store=None,
 ) -> SuiteResult:
     """Run a set of benchmarks on one configuration.
 
@@ -384,12 +385,22 @@ def run_suite(
     raises in the parent either way.  ``trace_cache_dir`` names the
     on-disk trace store workers load from (default:
     ``$REPRO_TRACE_CACHE``, else a temp directory for the call).
+
+    ``result_store`` (a :class:`repro.service.store.ResultStore`)
+    memoizes completed cells by content address: cells already in the
+    store are served from disk without simulating, and fresh results
+    are published back for every later caller (``Sweep``, the service,
+    another ``run_suite``).  The memo key covers the full config
+    fingerprint, resolved engine, and trace parameters, so hits are
+    bit-identical to recomputation.  Cells carrying an inline ``trace``
+    or a custom ``energy_model`` are not content-addressable and always
+    run.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     benchmarks = list(benchmarks)
     runs: Dict[str, RunResult] = {}
-    if jobs == 1 or len(benchmarks) <= 1:
+    if result_store is None and (jobs == 1 or len(benchmarks) <= 1):
         for name in benchmarks:
             trace = traces.get(name) if traces else None
             runs[name] = run_benchmark(
@@ -411,7 +422,12 @@ def run_suite(
     import shutil
     import tempfile
 
-    from repro.sim.parallel import CellTask, run_cells
+    from repro.sim.parallel import (
+        CellTask,
+        cell_fingerprint,
+        memoizable_payload,
+        run_cells,
+    )
     from repro.sim.results import run_result_from_dict
     from repro.workloads.tracegen import TraceCache, default_trace_cache_dir
 
@@ -450,8 +466,30 @@ def run_suite(
                     telemetry=telemetry,
                 )
             )
-        for payload in run_cells(tasks, jobs):
-            runs[benchmarks[payload["index"]]] = run_result_from_dict(
+        pending = tasks
+        keys: Dict[int, str] = {}
+        if result_store is not None:
+            pending = []
+            for task in tasks:
+                key = cell_fingerprint(task)
+                if key is not None:
+                    cached = result_store.get(key)
+                    if cached is not None:
+                        runs[benchmarks[task.index]] = run_result_from_dict(
+                            cached["result"]
+                        )
+                        continue
+                    keys[task.index] = key
+                pending.append(task)
+        for payload in run_cells(pending, jobs):
+            index = payload["index"]
+            key = keys.get(index)
+            if key is not None:
+                stored = dict(payload)
+                stored.pop("index", None)
+                if memoizable_payload(stored):
+                    result_store.put(key, stored)
+            runs[benchmarks[index]] = run_result_from_dict(
                 payload["result"]
             )
     finally:

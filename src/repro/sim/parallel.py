@@ -34,6 +34,8 @@ propagates out of :func:`run_cells` in the parent.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -41,7 +43,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError, ReproError
 from repro.cpu.wattch import ProcessorEnergyModel
-from repro.sim.config import SystemConfig
+from repro.sim.config import SystemConfig, config_fingerprint, resolve_engine
 from repro.sim.driver import run_benchmark
 from repro.sim.results import run_result_to_dict
 from repro.telemetry import TelemetryConfig
@@ -104,6 +106,63 @@ class CellTask:
     #: Telemetry collection for the run; the payload rides back inside
     #: the RunResult dict, so parallel runs lose nothing vs serial.
     telemetry: Optional[TelemetryConfig] = None
+
+
+#: Version of the :func:`cell_fingerprint` key layout.  Bump whenever
+#: the set of hashed fields (or their meaning) changes, so stale store
+#: entries from an older layout can never satisfy a new lookup.
+CELL_FINGERPRINT_FORMAT = 1
+
+
+def cell_fingerprint(task: CellTask) -> Optional[str]:
+    """Content address of the cell's first-attempt result, or None.
+
+    The key covers everything a first (attempt-0) run depends on: the
+    config fingerprint, the resolved engine, the trace parameters
+    ``(benchmark, n_references, seed, warm_set_conflict)`` — the trace
+    itself is a deterministic function of those, which is why
+    ``trace_path`` does not participate — plus warmup split, prewarm,
+    and the telemetry fingerprint.  Retry/budget knobs
+    (``max_retries``, ``reseed_step``, ``budget_s``) are deliberately
+    excluded: memoization stores only first-attempt successes (see
+    :class:`repro.service.store.ResultStore`), whose payloads those
+    knobs cannot influence, so a sweep cell and a suite cell with
+    different retry policies share one entry.
+
+    Returns None when the cell is not content-addressable: an inline
+    ``trace`` (arbitrary bytes, not derivable from the parameters) or a
+    custom ``energy_model`` (not canonically serialized).
+    """
+    if task.trace is not None or task.energy_model is not None:
+        return None
+    payload = {
+        "format": CELL_FINGERPRINT_FORMAT,
+        "config": config_fingerprint(task.config),
+        "engine": resolve_engine(task.config.engine),
+        "benchmark": task.benchmark,
+        "n_references": task.n_references,
+        "seed": task.seed,
+        "warmup_fraction": task.warmup_fraction,
+        "warm_set_conflict": task.warm_set_conflict,
+        "prewarm": task.prewarm,
+        "telemetry": None
+        if task.telemetry is None
+        else task.telemetry.fingerprint(),
+    }
+    encoded = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def memoizable_payload(payload: Dict[str, object]) -> bool:
+    """True when a cell payload is safe to store under its fingerprint.
+
+    Only first-attempt successes qualify: retried or failed outcomes
+    depend on the retry/budget knobs excluded from the fingerprint.
+    """
+    outcome = payload.get("outcome")
+    if not isinstance(outcome, dict):
+        return False
+    return outcome.get("status") == "ok" and outcome.get("attempts") == 1
 
 
 def _attempt_trace(task: CellTask, attempt: int) -> Trace:

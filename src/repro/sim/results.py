@@ -61,21 +61,33 @@ class RunResult:
 
 
 def run_result_to_dict(result: RunResult) -> Dict[str, object]:
-    """A JSON-safe payload for checkpoint files (see sim.sweep)."""
+    """A JSON-safe payload for checkpoint files (see sim.sweep).
+
+    Numeric fields are coerced to the exact types
+    :func:`run_result_from_dict` restores (floats for cycles, stats,
+    and fractions; ints for counts), so serialization is *byte-stable*:
+    ``to_dict(from_dict(to_dict(r)))`` encodes to the same JSON bytes
+    as ``to_dict(r)``.  Without this, a result that crossed a worker
+    boundary (or the result store) would carry ``315.0`` where a fresh
+    in-process result carries ``315`` — numerically equal, but not the
+    byte-identity the parity tests and the service promise.
+    """
     payload: Dict[str, object] = {
         "benchmark": result.benchmark,
         "config_name": result.config_name,
-        "instructions": result.instructions,
-        "cycles": result.cycles,
+        "instructions": int(result.instructions),
+        "cycles": float(result.cycles),
         # JSON objects only have string keys; restored by from_dict.
-        "dgroup_fractions": {str(k): v for k, v in result.dgroup_fractions.items()},
-        "l2_accesses": result.l2_accesses,
-        "l2_hits": result.l2_hits,
-        "l2_misses": result.l2_misses,
-        "l1_energy_nj": result.l1_energy_nj,
-        "lower_energy_nj": result.lower_energy_nj,
-        "core_energy_nj": result.core_energy_nj,
-        "stats": dict(result.stats),
+        "dgroup_fractions": {
+            str(k): float(v) for k, v in result.dgroup_fractions.items()
+        },
+        "l2_accesses": int(result.l2_accesses),
+        "l2_hits": int(result.l2_hits),
+        "l2_misses": int(result.l2_misses),
+        "l1_energy_nj": float(result.l1_energy_nj),
+        "lower_energy_nj": float(result.lower_energy_nj),
+        "core_energy_nj": float(result.core_energy_nj),
+        "stats": {str(k): float(v) for k, v in result.stats.items()},
     }
     if result.telemetry is not None:
         payload["telemetry"] = result.telemetry

@@ -78,7 +78,12 @@ if TYPE_CHECKING:  # the runtime import is deferred to break a cycle
     from repro.resilience.supervisor import SupervisorConfig
 from repro.sim.config import SystemConfig
 from repro.sim.driver import run_benchmark
-from repro.sim.parallel import CellTask, reseed_config, run_cells
+from repro.sim.parallel import (
+    CellTask,
+    cell_fingerprint,
+    reseed_config,
+    run_cells,
+)
 from repro.sim.results import RunResult, run_result_from_dict, run_result_to_dict
 from repro.telemetry import TelemetryConfig
 from repro.workloads.spec2k import get_benchmark
@@ -200,7 +205,13 @@ class Sweep:
     :func:`repro.resilience.run_cells_supervised` (worker deadlines,
     crash recovery, quarantine) — even with ``jobs=1``, where the
     single cell runs in a supervised worker process so its deadline
-    stays enforceable.
+    stays enforceable.  ``result_store`` (a
+    :class:`repro.service.store.ResultStore`) memoizes cells by content
+    address across sweeps and callers: pending cells found in the store
+    are restored without running (and folded into the checkpoint), and
+    fresh first-attempt successes are published back.  Retried cells
+    (attempts > 1) are never stored — their reseeded universe is not
+    the content address's.
     """
 
     def __init__(
@@ -220,6 +231,7 @@ class Sweep:
         checkpoint_every: Optional[int] = None,
         telemetry: Optional[TelemetryConfig] = None,
         supervisor: Optional["SupervisorConfig"] = None,
+        result_store=None,
     ) -> None:
         if not axes:
             raise ConfigurationError("sweep needs at least one axis")
@@ -270,7 +282,23 @@ class Sweep:
         self.checkpoint_every = checkpoint_every
         self.telemetry = telemetry
         self.supervisor = supervisor
+        self.result_store = result_store
         self._traces: Dict[str, Trace] = {}
+
+    def _store_key(self, config: SystemConfig, benchmark: str) -> Optional[str]:
+        """The cell's content address (same key every execution path uses)."""
+        if self.result_store is None:
+            return None
+        probe = CellTask(
+            index=0,
+            config=config,
+            benchmark=benchmark,
+            n_references=self.n_references,
+            seed=self.seed,
+            warmup_fraction=self.warmup_fraction,
+            telemetry=self.telemetry,
+        )
+        return cell_fingerprint(probe)
 
     def _trace(self, benchmark: str, attempt: int = 0) -> Trace:
         """The shared base trace, or a fresh reseeded one for retries."""
@@ -440,6 +468,34 @@ class Sweep:
                     point.runs[benchmark] = run_result_from_dict(
                         cached["result"]
                     )
+        if pending and self.result_store is not None:
+            # Second chance before simulating: cells memoized by any
+            # earlier caller (a service run, another sweep, run_suite)
+            # restore from the store and fold into the checkpoint.
+            still_pending: List[Tuple[int, str]] = []
+            restored = 0
+            for index, benchmark in pending:
+                key = self._store_key(points[index].config, benchmark)
+                stored = None if key is None else self.result_store.get(key)
+                if stored is None:
+                    still_pending.append((index, benchmark))
+                    continue
+                point = points[index]
+                point.outcomes[benchmark] = RunOutcome.from_dict(
+                    stored["outcome"]
+                )
+                if stored.get("result") is not None:
+                    point.runs[benchmark] = run_result_from_dict(
+                        stored["result"]
+                    )
+                cells[point.key][benchmark] = {
+                    "outcome": dict(stored["outcome"]),
+                    "result": stored.get("result"),
+                }
+                restored += 1
+            pending = still_pending
+            if restored and self.checkpoint_path is not None:
+                self._save_checkpoint(signature, cells)
         if not pending:
             return points
         # The flush state lives here — not in the runner methods — so a
@@ -469,10 +525,18 @@ class Sweep:
         point.outcomes[benchmark] = outcome
         if result is not None:
             point.runs[benchmark] = result
-        cells[point.key][benchmark] = {
+        record = {
             "outcome": outcome.to_dict(),
             "result": None if result is None else run_result_to_dict(result),
         }
+        cells[point.key][benchmark] = record
+        # Publish first-attempt successes for every later caller; a
+        # retried success ran under reseeded parameters and is not this
+        # content address's answer.
+        if self.result_store is not None and outcome.ok and outcome.attempts == 1:
+            key = self._store_key(point.config, benchmark)
+            if key is not None:
+                self.result_store.put(key, record)
 
     def _run_serial(
         self,

@@ -22,6 +22,23 @@ Counters used by the resilience layer:
 * ``checkpoint.record_rejected`` — cells dropped by a per-record checksum
 * ``trace_cache.corrupt_recovered`` — cache entries regenerated after a
   failed load or checksum mismatch
+
+Counters used by the simulation service (:mod:`repro.service`):
+
+* ``service.jobs_submitted`` / ``service.cells_submitted`` — admitted work
+* ``service.cells_memo_hits`` — cells served from the result store
+* ``service.cells_coalesced`` — cells merged onto an identical
+  in-flight cell from another job
+* ``service.cells_enqueued`` / ``service.cells_completed`` /
+  ``service.cells_failed`` — cells that actually simulated, by outcome
+* ``service.estimates`` — analytical (``approx``) answers served inline
+* ``service.pool_rebuilds`` / ``service.executor_errors`` — worker-pool
+  deaths and surfaced simulator errors
+* ``result_store.hits`` / ``result_store.misses`` /
+  ``result_store.writes`` / ``result_store.evicted`` — content-addressed
+  result-store traffic
+* ``result_store.corrupt_recovered`` — entries that failed their sha256
+  sidecar, were discarded, and forced a recompute
 """
 
 from __future__ import annotations

@@ -92,6 +92,16 @@ def test_parallel_sweep(monkeypatch, capsys, tmp_path):
     assert "bit-identical: True" in out
 
 
+def test_simulation_service(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "examples/simulation_service.py",
+        ["simulation_service.py", "6000"],
+    )
+    assert "byte-identical: True" in out
+    assert "identical payloads: True" in out
+    assert "4/4 cells from store" in out
+
+
 @pytest.mark.slow
 def test_custom_workload(monkeypatch, capsys):
     from repro.workloads.spec2k import SPEC2K_SUITE
