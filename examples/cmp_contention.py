@@ -1,0 +1,79 @@
+"""Shared-LLC chip-multiprocessor walkthrough: 1, 2, and 4 cores.
+
+Each run interleaves per-core reference streams (virtual-time merge,
+deterministic under the seed) over one contended NuRAPID LLC with
+per-bank FCFS queues, then prints the throughput/fairness story:
+
+* chip throughput (the sum of per-core IPCs) and how it scales,
+* Jain's fairness index over the per-core IPCs,
+* the mean bank-queue wait per LLC access — the latency the paper's
+  infinite-bandwidth assumption hides.
+
+A final 2-core mixed run (``twolf+mcf``) shows an unfair share split:
+the cache-hungry stream drags its neighbour's IPC down through the
+shared banks and shared capacity.
+
+Run:  python examples/cmp_contention.py [benchmark] [n_references]
+"""
+
+import sys
+
+from repro.cmp.engine import jain_fairness
+from repro.cmp.scenarios import cmp_nurapid_config, per_core_ipcs
+from repro.sim.driver import run_benchmark
+
+SEED = 7
+WARMUP = 0.3
+
+
+def describe(result, label):
+    ipcs = per_core_ipcs(result)
+    throughput = sum(ipcs)
+    print(f"\n-- {label} --")
+    for core, ipc in enumerate(ipcs):
+        print(f"  core {core}: ipc {ipc:.3f}")
+    print(f"  chip throughput: {throughput:.3f} ipc")
+    print(f"  fairness (Jain): {jain_fairness(ipcs):.3f}")
+    grants = result.stats.get("bankq.grants", 0.0)
+    if grants:
+        wait = result.stats.get("bankq.wait_cycles", 0.0) / grants
+        print(f"  bank wait/access: {wait:.1f} cycles")
+    print(f"  L2 miss ratio: {result.l2_miss_fraction:.3f}")
+    return throughput
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "twolf"
+    n_references = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+
+    print(f"benchmark: {benchmark}, {n_references} chip references")
+    base = None
+    for cores in (1, 2, 4):
+        config = cmp_nurapid_config(cores=cores)
+        result = run_benchmark(
+            config,
+            benchmark,
+            n_references=n_references,
+            seed=SEED,
+            warmup_fraction=WARMUP,
+        )
+        throughput = describe(result, f"{cores} core(s), shared NuRAPID LLC")
+        if base is None:
+            base = throughput
+        elif base:
+            print(f"  scaling vs 1 core: {throughput / base:.2f}x")
+
+    mixed = f"{benchmark}+mcf"
+    config = cmp_nurapid_config(cores=2)
+    result = run_benchmark(
+        config,
+        mixed,
+        n_references=n_references,
+        seed=SEED,
+        warmup_fraction=WARMUP,
+    )
+    describe(result, f"2 cores, mixed {mixed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -67,6 +67,10 @@ DEFAULT_WARMUP = 0.4
 DEFAULT_REPETITIONS = 3
 LEDGER_FORMAT = 1
 
+#: Workload for the ``--cmp`` gate: a 2-core shared-LLC run (timed)
+#: plus the cores=1 bit-identity contract check.
+CMP_BENCHMARK = "twolf"
+
 #: Workload for the ``--approx-accuracy`` gate: the full shipped-config
 #: parity matrix from ``tests/test_fastpath.py``, three trace seeds.
 APPROX_BENCHMARK = "twolf"
@@ -481,6 +485,61 @@ def approx_accuracy(
     }
 
 
+def _time_cmp(
+    refs: int, seed: int, warmup: float, repetitions: int = 1
+) -> Dict[str, object]:
+    """The ``--cmp`` pass: timed 2-core run + cores=1 parity check.
+
+    Times a 2-core contended shared-NuRAPID run (the new CMP engine's
+    representative workload) and verifies the bit-identity contract: a
+    config carrying ``CmpConfig(cores=1)`` must produce a byte-identical
+    result to the same config without any ``cmp`` block, because the
+    driver routes one-core runs through the unchanged single-core path.
+    """
+    from repro.cmp.config import CmpConfig
+    from repro.cmp.scenarios import cmp_nurapid_config, per_core_ipcs
+
+    config = cmp_nurapid_config(cores=2)
+    best: Optional[float] = None
+    result = None
+    for rep in range(repetitions):
+        start = time.perf_counter()
+        run = run_benchmark(
+            config,
+            CMP_BENCHMARK,
+            n_references=refs,
+            seed=seed,
+            warmup_fraction=warmup,
+        )
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        if rep == 0:
+            result = run
+    assert result is not None
+
+    plain = nurapid_config()
+    tagged = config_replace(plain, cmp=CmpConfig(cores=1))
+    baseline = run_benchmark(
+        plain, CMP_BENCHMARK, n_references=refs, seed=seed, warmup_fraction=warmup
+    )
+    routed = run_benchmark(
+        tagged, CMP_BENCHMARK, n_references=refs, seed=seed, warmup_fraction=warmup
+    )
+    parity = json.dumps(
+        run_result_to_dict(baseline), sort_keys=True
+    ) == json.dumps(run_result_to_dict(routed), sort_keys=True)
+
+    ipcs = per_core_ipcs(result)
+    return {
+        "benchmark": CMP_BENCHMARK,
+        "cores": 2,
+        "cmp_s": round(best or 0.0, 3),
+        "throughput_ipc": round(sum(ipcs), 4),
+        "single_core_parity": parity,
+    }
+
+
 def comparable_entry(
     ledger: Dict[str, object], entry: Dict[str, object], label: Optional[str] = None
 ):
@@ -595,6 +654,13 @@ def main(argv=None) -> int:
         "this many cells/sec",
     )
     parser.add_argument(
+        "--cmp",
+        action="store_true",
+        help="also time a 2-core contended shared-NuRAPID run through the "
+        "CMP engine and fail unless a CmpConfig(cores=1) run is "
+        "byte-identical to the plain single-core path",
+    )
+    parser.add_argument(
         "--against",
         default=None,
         metavar="LEDGER_OR_LABEL",
@@ -706,6 +772,11 @@ def main(argv=None) -> int:
                 args.service_clients,
                 serial["results"],  # type: ignore[arg-type]
             )
+        cmp_pass: Optional[Dict[str, object]] = None
+        if args.cmp:
+            cmp_pass = _time_cmp(
+                args.refs, args.seed, args.warmup, repetitions=args.repetitions
+            )
         instrumented: Optional[Dict[str, object]] = None
         if args.telemetry_overhead:
             instrumented = _time_serial(
@@ -744,8 +815,15 @@ def main(argv=None) -> int:
         # entry timed under REPRO_ENGINE=legacy would silently compare
         # against one timed under the vectorized default.
         "env": {
-            name: os.environ.get(name)
-            for name in ("REPRO_ENGINE", "REPRO_JOBS", "REPRO_TELEMETRY")
+            **{
+                name: os.environ.get(name)
+                for name in ("REPRO_ENGINE", "REPRO_JOBS", "REPRO_TELEMETRY")
+            },
+            # Machine facts that change what a timing means: entries
+            # from a different interpreter or core count are not
+            # directly comparable.
+            "cpu_count": os.cpu_count(),
+            "python_version": platform.python_version(),
         },
         "repetitions": args.repetitions,
         "jobs": jobs,
@@ -788,6 +866,11 @@ def main(argv=None) -> int:
     if service is not None:
         service_identical = bool(service["identical"])
         entry["service"] = service
+
+    cmp_parity = True
+    if cmp_pass is not None:
+        cmp_parity = bool(cmp_pass["single_core_parity"])
+        entry["cmp"] = cmp_pass
 
     telemetry_identical = True
     if instrumented is not None:
@@ -904,6 +987,12 @@ def main(argv=None) -> int:
             f"coalesced={service['coalesced']} | "
             f"identical={service_identical}"
         )
+    if cmp_pass is not None:
+        print(
+            f"cmp(cores=2, {cmp_pass['benchmark']}) {cmp_pass['cmp_s']}s | "
+            f"throughput {cmp_pass['throughput_ipc']} ipc | "
+            f"cores=1 parity={cmp_parity}"
+        )
     if instrumented is not None:
         print(
             f"telemetry serial {instrumented['total_s']}s | "
@@ -943,6 +1032,12 @@ def main(argv=None) -> int:
         return 1
     if not telemetry_identical:
         print("ERROR: telemetry changed simulated results — instrumentation bug")
+        return 1
+    if not cmp_parity:
+        print(
+            "ERROR: CmpConfig(cores=1) diverged from the single-core "
+            "path — bit-identity contract broken"
+        )
         return 1
     if parity_failures:
         print("ERROR: replay engines diverge — fast-path bug")

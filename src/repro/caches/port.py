@@ -53,6 +53,18 @@ class PortScheduler:
         """How long a request arriving at ``now`` would wait."""
         return max(0.0, self.busy_until - now)
 
+    def pending_depth(self, now: float, service: float) -> int:
+        """Whole ``service``-cycle quanta queued ahead of ``now``.
+
+        With fixed-duration requests this is exactly the number of
+        earlier requests still unserved — the queue depth a new
+        arrival observes.
+        """
+        wait = self.busy_until - now
+        if wait <= 0 or service <= 0:
+            return 0
+        return int(-(-wait // service))
+
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` cycles this resource was busy."""
         if elapsed <= 0:

@@ -1,0 +1,28 @@
+"""Chip-multiprocessor shared-LLC scenarios.
+
+The subsystem has four pieces:
+
+* :mod:`repro.cmp.config` — the ``CmpConfig`` axis
+  (cores / contention / compression) carried by ``SystemConfig``.
+* :mod:`repro.cmp.contention` — per-bank queueing on the shared LLC.
+* :mod:`repro.cmp.engine` — the multi-core replay loop (interleaved
+  traces, per-core hierarchies over one shared LLC, per-core
+  accounting).  Imported lazily by the driver; import it explicitly —
+  it pulls in the driver and must not load with this package.
+* :mod:`repro.cmp.scenarios` — config factories and fairness metrics
+  for experiments (imports ``repro.sim``; also import explicitly).
+
+This ``__init__`` stays free of ``repro.sim`` imports because
+``repro.sim.config`` imports :mod:`repro.cmp.config` (and hence this
+package) at module load.
+"""
+
+from repro.cmp.config import CmpConfig, CompressionConfig, ContentionConfig
+from repro.cmp.contention import ContendedLLC
+
+__all__ = [
+    "CmpConfig",
+    "CompressionConfig",
+    "ContentionConfig",
+    "ContendedLLC",
+]

@@ -1,0 +1,116 @@
+"""Configuration axis for chip-multiprocessor shared-LLC scenarios.
+
+``CmpConfig`` rides on :class:`~repro.sim.config.SystemConfig` as an
+optional field, so every existing layer — parallel sweeps, supervised
+execution, service memoization — picks the new axis up for free: the
+config fingerprint covers the whole dataclass tree.
+
+Three knobs:
+
+* ``cores`` — how many cores share the LLC.  ``cores=1`` is, by
+  contract, bit-identical to a config without a ``cmp`` block (the
+  driver routes one-core runs through the unchanged single-core path).
+* ``contention`` — per-bank FCFS queueing on the LLC data array,
+  replacing the paper's infinite-bandwidth assumption (the Sniper
+  ``QueueModel`` idiom: service time = block bytes / bank bandwidth).
+* ``compression`` — the compressed-line NuRAPID variant where a fixed
+  per-line compression ratio lets multiple compressed lines share a
+  fast-d-group data frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.interleave import MAX_CORES
+
+
+@dataclass(frozen=True)
+class ContentionConfig:
+    """Per-bank queueing on the shared LLC data array.
+
+    Models ``n_banks`` single-ported data banks, each moving
+    ``bytes_per_cycle`` of line data, in front of whatever latency the
+    wrapped cache already charges.  Queueing adds *wait* cycles only:
+    an unloaded bank leaves latencies exactly as the uncontended model
+    computed them, so contention shows up purely as load-dependent
+    slowdown.
+    """
+
+    n_banks: int = 8
+    bytes_per_cycle: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.n_banks < 1:
+            raise ConfigurationError(f"n_banks must be >= 1, got {self.n_banks}")
+        if self.bytes_per_cycle <= 0:
+            raise ConfigurationError(
+                f"bytes_per_cycle must be positive, got {self.bytes_per_cycle}"
+            )
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """Compressed-line NuRAPID: ratio buys fast-d-group frames.
+
+    The first ``compressed_dgroups`` d-groups store lines compressed
+    ``ratio``:1, so each gains ``(ratio - 1) x`` extra data frames (and
+    the set associativity limit grows to match).  Whether a line
+    compresses is a deterministic per-address draw against the
+    workload's compressible share; incompressible lines live only in
+    the uncompressed (slower) d-groups.  Reads from a compressed group
+    pay ``decompression_cycles`` extra.
+    """
+
+    ratio: int = 2
+    compressible_share: float = 0.7
+    decompression_cycles: int = 2
+    compressed_dgroups: int = 1
+    #: Optional per-core compressible shares (CMP runs fill this from
+    #: each core's benchmark profile when left None).
+    core_shares: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.ratio < 2:
+            raise ConfigurationError(
+                f"compression ratio must be >= 2, got {self.ratio}"
+            )
+        if not 0.0 <= self.compressible_share <= 1.0:
+            raise ConfigurationError(
+                f"compressible_share must be in [0, 1], got {self.compressible_share}"
+            )
+        if self.decompression_cycles < 0:
+            raise ConfigurationError(
+                f"decompression_cycles must be >= 0, got {self.decompression_cycles}"
+            )
+        if self.compressed_dgroups < 1:
+            raise ConfigurationError(
+                f"compressed_dgroups must be >= 1, got {self.compressed_dgroups}"
+            )
+        if self.core_shares is not None:
+            if not self.core_shares or len(self.core_shares) > MAX_CORES:
+                raise ConfigurationError(
+                    f"core_shares must name 1..{MAX_CORES} cores"
+                )
+            for share in self.core_shares:
+                if not 0.0 <= share <= 1.0:
+                    raise ConfigurationError(
+                        f"core share must be in [0, 1], got {share}"
+                    )
+
+
+@dataclass(frozen=True)
+class CmpConfig:
+    """The CMP scenario axis: cores x contention x compression."""
+
+    cores: int = 1
+    contention: Optional[ContentionConfig] = None
+    compression: Optional[CompressionConfig] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.cores <= MAX_CORES:
+            raise ConfigurationError(
+                f"cores must be in [1, {MAX_CORES}], got {self.cores}"
+            )

@@ -1,0 +1,119 @@
+"""Bank-contention wrapper for the cache under study.
+
+The paper assumes the L2's data array can source a line every cycle;
+with several cores sharing one LLC that assumption dominates results.
+``ContendedLLC`` wraps any of the non-uniform caches with per-bank
+FCFS queues (the Sniper ``QueueModel`` idiom): every hit's line
+transfer occupies its home bank for ``block_bytes / bytes_per_cycle``
+cycles, and a request arriving at a busy bank waits.  Fills charge
+their bank too, so refill traffic steals demand bandwidth.
+
+Queueing adds *wait* only — an unloaded bank returns exactly the
+wrapped cache's latency, so a one-core contended run differs from the
+uncontended model only when its own fills collide with its own hits.
+
+Everything else forwards to the wrapped cache.  The wrapper
+deliberately does **not** answer ``.cache``: the driver unwraps levels
+exposing that attribute as uniform-cache adapters, and this wrapper
+must stay in the stats path as the cache under study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.caches.port import PortScheduler
+from repro.cmp.config import ContentionConfig
+from repro.common.types import AccessResult
+
+
+class ContendedLLC:
+    """Per-bank queueing layered over a lower-level cache."""
+
+    def __init__(self, inner, contention: ContentionConfig) -> None:
+        self._inner = inner
+        self.contention = contention
+        block = inner.block_bytes
+        self._service = block / contention.bytes_per_cycle
+        self._n_banks = contention.n_banks
+        self._block_shift = max(block.bit_length() - 1, 0)
+        self.bank_ports: List[PortScheduler] = [
+            PortScheduler(f"{inner.name}.bank{i}")
+            for i in range(contention.n_banks)
+        ]
+        #: Optional queue-depth histogram, attached by the telemetry
+        #: session; records the depth each access observes on arrival.
+        self.queue_depth_hist = None
+
+    # --- identity / forwarding ---
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def block_bytes(self) -> int:
+        return self._inner.block_bytes
+
+    @property
+    def telemetry(self):
+        return self._inner.telemetry
+
+    @telemetry.setter
+    def telemetry(self, client) -> None:
+        self._inner.telemetry = client
+
+    def __getattr__(self, attr: str):
+        # The driver treats levels exposing ``.cache`` as uniform
+        # wrappers to unwrap; this wrapper must stay visible.
+        if attr in ("cache", "_inner"):
+            raise AttributeError(attr)
+        return getattr(self._inner, attr)
+
+    # --- the LowerLevel protocol, with bank queueing ---
+
+    def _bank_of(self, address: int) -> PortScheduler:
+        return self.bank_ports[(int(address) >> self._block_shift) % self._n_banks]
+
+    def access(
+        self, address: int, is_write: bool = False, now: float = 0.0
+    ) -> AccessResult:
+        result = self._inner.access(address, is_write, now)
+        if result.hit:
+            port = self._bank_of(address)
+            if self.queue_depth_hist is not None:
+                self.queue_depth_hist.record(port.pending_depth(now, self._service))
+            start, _ = port.request(now, self._service)
+            result.latency += start - now
+        return result
+
+    def fill(self, address: int, now: float = 0.0, dirty: bool = False) -> int:
+        # The refill's line write occupies its bank (stealing demand
+        # bandwidth) but rides the fill buffers: the wrapped cache
+        # installs at the caller's fill time either way.
+        self._bank_of(address).request(now, self._service)
+        return self._inner.fill(address, now, dirty)
+
+    def prewarm(self) -> None:
+        self._inner.prewarm()
+
+    def reset_stats(self) -> None:
+        """Zero counters; bank timelines are kept so queueing stays
+        causal across the warmup boundary (same contract as the
+        wrapped cache's port)."""
+        self._inner.reset_stats()
+        for port in self.bank_ports:
+            port.total_busy = 0.0
+            port.total_wait = 0.0
+            port.grants = 0
+
+    # --- contention accounting ---
+
+    def bank_wait_cycles(self) -> float:
+        return sum(port.total_wait for port in self.bank_ports)
+
+    def bank_busy_cycles(self) -> float:
+        return sum(port.total_busy for port in self.bank_ports)
+
+    def bank_grants(self) -> int:
+        return sum(port.grants for port in self.bank_ports)

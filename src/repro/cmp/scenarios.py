@@ -1,0 +1,98 @@
+"""Config factories and metrics for CMP experiments.
+
+Separate from :mod:`repro.cmp.config` because these build full
+``SystemConfig`` objects (and ``repro.sim.config`` itself imports the
+cmp config module, so the dependency must point this way).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.cmp.config import CmpConfig, CompressionConfig, ContentionConfig
+from repro.sim.config import SystemConfig, nurapid_config, snuca_config
+
+
+def cmp_nurapid_config(
+    cores: int = 2,
+    contention: bool = True,
+    compression: bool = False,
+    n_banks: int = 8,
+    bytes_per_cycle: float = 16.0,
+    ratio: int = 2,
+    compressed_dgroups: int = 1,
+    n_dgroups: int = 4,
+    capacity_kb: Optional[int] = None,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> SystemConfig:
+    """A shared NuRAPID LLC under ``cores`` cores.
+
+    ``capacity_kb`` shrinks the LLC below the paper's 8 MB — the
+    compression ablation uses this to put real capacity pressure on
+    the fast d-group at smoke scale.
+
+    The name encodes the scenario axis (``nurapid-cmp2-b8`` etc.) so
+    cached results, memo keys, and bench entries never mix scenarios.
+    """
+    base = nurapid_config(n_dgroups=n_dgroups, seed=seed)
+    if capacity_kb is not None:
+        base = dataclasses.replace(
+            base,
+            nurapid=dataclasses.replace(
+                base.nurapid, capacity_bytes=capacity_kb * 1024
+            ),
+        )
+    label = name or (
+        f"nurapid-cmp{cores}"
+        + (f"-b{n_banks}" if contention else "")
+        + (f"-comp{ratio}x" if compression else "")
+        + (f"-{capacity_kb}kb" if capacity_kb is not None else "")
+    )
+    cmp = CmpConfig(
+        cores=cores,
+        contention=(
+            ContentionConfig(n_banks=n_banks, bytes_per_cycle=bytes_per_cycle)
+            if contention
+            else None
+        ),
+        compression=(
+            CompressionConfig(ratio=ratio, compressed_dgroups=compressed_dgroups)
+            if compression
+            else None
+        ),
+    )
+    return dataclasses.replace(base, name=label, cmp=cmp)
+
+
+def cmp_snuca_config(
+    cores: int = 2,
+    contention: bool = True,
+    n_banks: int = 8,
+    bytes_per_cycle: float = 16.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> SystemConfig:
+    """The S-NUCA baseline sharing its LLC across ``cores`` cores."""
+    base = snuca_config(seed=seed)
+    label = name or (
+        f"s-nuca-cmp{cores}" + (f"-b{n_banks}" if contention else "")
+    )
+    cmp = CmpConfig(
+        cores=cores,
+        contention=(
+            ContentionConfig(n_banks=n_banks, bytes_per_cycle=bytes_per_cycle)
+            if contention
+            else None
+        ),
+    )
+    return dataclasses.replace(base, name=label, cmp=cmp)
+
+
+def per_core_ipcs(result) -> List[float]:
+    """Per-core IPCs from a RunResult (single-core: the chip IPC)."""
+    cores = int(result.stats.get("cmp.cores", 1))
+    if cores <= 1:
+        return [result.ipc]
+    return [result.stats[f"c{i}.ipc"] for i in range(cores)]

@@ -183,3 +183,15 @@ class CoreModel:
     @property
     def mshr_full_stalls(self) -> int:
         return self._mshrs.full_stalls
+
+    def counters(self) -> dict:
+        """Flat accounting snapshot; CMP runs label one per core."""
+        return {
+            "instructions": float(self.instructions),
+            "cycles": float(self.cycle),
+            "memory_accesses": float(self.memory_accesses),
+            "stall_cycles": float(self.stall_cycles),
+            "branch_penalty_cycles": float(self.branch_penalty_cycles),
+            "mshr_stall_cycles": float(self.mshr_stall_cycles),
+            "mshr_full_stalls": float(self.mshr_full_stalls),
+        }

@@ -38,6 +38,8 @@ def _registry() -> Dict[str, Callable[[Scale], ExperimentReport]]:
         figure8,
         figure9,
         figure10,
+        figure_cmp_compression,
+        figure_cmp_throughput,
         lru_random,
         table2,
         table3,
@@ -56,6 +58,8 @@ def _registry() -> Dict[str, Callable[[Scale], ExperimentReport]]:
         "figure8": figure8.run,
         "figure9": figure9.run,
         "figure10": figure10.run,
+        "figure_cmp_throughput": figure_cmp_throughput.run,
+        "figure_cmp_compression": figure_cmp_compression.run,
         "energy_delay": energy_delay.run,
         "ablation_policies": ablations.run_policies,
         "ablation_pointers": ablations.run_pointers,

@@ -167,10 +167,14 @@ def cached_run(config: SystemConfig, benchmark: str, scale: Scale) -> RunResult:
     """
     key = _run_key(config, benchmark, scale)
     if key not in _RUN_CACHE:
+        # CMP configs interleave per-core streams inside run_benchmark,
+        # so no shared single-stream trace applies.
+        is_cmp = config.cmp is not None and config.cmp.cores > 1
         _RUN_CACHE[key] = run_benchmark(
             config,
             benchmark,
-            trace=shared_trace(benchmark, scale),
+            n_references=scale.n_references,
+            trace=None if is_cmp else shared_trace(benchmark, scale),
             warmup_fraction=scale.warmup_fraction,
             seed=scale.seed,
             telemetry=default_telemetry(),
@@ -237,7 +241,12 @@ def run_matrix(
             # cell) so behavior needs no configuration.
             trace_path = None
             trace = None
-            if disk_cache is not None:
+            if config.cmp is not None and config.cmp.cores > 1:
+                # CMP cells interleave their own per-core traces in the
+                # worker; shipping a single-stream trace would be
+                # rejected by run_benchmark.
+                pass
+            elif disk_cache is not None:
                 trace_path = disk_cache.ensure(
                     benchmark, scale.n_references, seed=scale.seed
                 )

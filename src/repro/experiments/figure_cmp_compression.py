@@ -1,0 +1,85 @@
+"""Compressed NuRAPID: trading decompression latency for fast capacity.
+
+The compressed variant stores lines in the fastest d-group at a fixed
+2:1 ratio, doubling its data frames (and the set associativity limit
+to match), at a small per-read decompression cost.  Under a shared
+LLC the extra fast capacity matters most: two cores' working sets
+compete for d-group 0, and compression lets more of both stay close.
+
+The figure compares the contended 2-core baseline against the
+compressed variant on an integer-heavy mix (high compressible share),
+reporting chip throughput, the fast-d-group (dg0) hit share — the
+acceptance metric — miss ratio, and fairness.
+"""
+
+from __future__ import annotations
+
+from repro.cmp.engine import jain_fairness
+from repro.cmp.scenarios import cmp_nurapid_config, per_core_ipcs
+from repro.experiments.common import (
+    ExperimentReport,
+    Scale,
+    cached_run,
+    run_matrix,
+)
+
+BENCHMARK = "twolf+mcf"
+CORES = 2
+#: A 1 MB shared LLC: small enough that smoke-scale fills churn the
+#: fast d-group, so the extra compressed frames actually matter.
+CAPACITY_KB = 1024
+
+
+def run(scale: Scale) -> ExperimentReport:
+    configs = {
+        "nurapid (contended)": cmp_nurapid_config(
+            cores=CORES, capacity_kb=CAPACITY_KB
+        ),
+        "nurapid + 2:1 compression": cmp_nurapid_config(
+            cores=CORES, compression=True, capacity_kb=CAPACITY_KB
+        ),
+    }
+    run_matrix(list(configs.values()), [BENCHMARK], scale)  # parallel prefetch
+
+    rows = []
+    shares = {}
+    for label, config in configs.items():
+        result = cached_run(config, BENCHMARK, scale)
+        ipcs = per_core_ipcs(result)
+        dg0 = result.dgroup_fractions.get(0, 0.0)
+        shares[label] = dg0
+        rows.append(
+            {
+                "config": label,
+                "throughput": round(sum(ipcs), 4),
+                "dg0_hit_share": round(dg0, 4),
+                "miss_ratio": round(result.l2_miss_fraction, 4),
+                "fairness": round(jain_fairness(ipcs), 4),
+            }
+        )
+
+    labels = list(configs)
+    gain = shares[labels[1]] - shares[labels[0]]
+    return ExperimentReport(
+        experiment="figure_cmp_compression",
+        title=(
+            f"Compressed NuRAPID under a shared {CAPACITY_KB // 1024} MB LLC "
+            f"({CORES} cores, {BENCHMARK})"
+        ),
+        paper_expectation=(
+            "doubling fast-d-group frames moves a measurable share of hits "
+            "from distant d-groups into dg0, outweighing the decompression "
+            "cycles on an integer-heavy (highly compressible) mix"
+        ),
+        rows=rows,
+        columns=[
+            "config",
+            "throughput",
+            "dg0_hit_share",
+            "miss_ratio",
+            "fairness",
+        ],
+        summary={"dg0_share_gain": round(gain, 4)},
+        notes="2:1 ratio in d-group 0; compressibility drawn per address "
+        "from each core's workload profile",
+    )

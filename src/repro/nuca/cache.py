@@ -401,6 +401,11 @@ class DNUCACache:
     # --- introspection ---
 
     @property
+    def bank_ports(self):
+        """The per-bank schedulers (telemetry reads queue pressure here)."""
+        return self._ports
+
+    @property
     def miss_rate(self) -> float:
         total = self.stats.get("accesses")
         if not total:

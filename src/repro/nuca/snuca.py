@@ -236,6 +236,11 @@ class SNUCACache:
             port.grants = 0
 
     @property
+    def bank_ports(self):
+        """The per-bank schedulers (telemetry reads queue pressure here)."""
+        return self._ports
+
+    @property
     def miss_rate(self) -> float:
         total = self.stats.get("accesses")
         if not total:

@@ -189,6 +189,10 @@ class NuRAPIDCache:
         self._promo_on = self.config.promotion is not PromotionPolicy.DEMOTION_ONLY
         self._promo_next = self.config.promotion is PromotionPolicy.NEXT_FASTEST
         self._hysteresis = self.config.promotion_hysteresis
+        #: Tag-side residency limit per set.  Equals the configured
+        #: associativity here; variant caches with more data frames
+        #: than tag ways per set (compressed d-groups) raise it.
+        self._assoc_limit = self.config.associativity
 
     # --- fault injection (opt-in) ---
 
@@ -499,7 +503,7 @@ class NuRAPIDCache:
         sc["fills"] = sc.get("fills", 0) + 1
 
         writebacks = 0
-        set_evicted = len(resident) >= self.config.associativity
+        set_evicted = len(resident) >= self._assoc_limit
         if set_evicted:
             victim_addr = self._data_lru[index].pop_victim()
             victim = resident.pop(victim_addr)
@@ -529,7 +533,12 @@ class NuRAPIDCache:
             writebacks += self._evict_for_space(region)
 
         # Demotion chain: push occupants outward until a free frame.
-        group = 0
+        group = start = self._fill_start_group(baddr)
+        if start:
+            # A chain entering mid-way cannot reach free frames in the
+            # faster groups it skips, so a variant may need to clear
+            # space in the reachable tail first (no-op in the base).
+            writebacks += self._ensure_chain_space(region, start)
         incoming = baddr
         incoming_packed: Optional[int] = None  # created below for baddr
         while not self._stores[group].has_free(region):
@@ -568,9 +577,9 @@ class NuRAPIDCache:
         self._replacer.insert(group, region, frame)
         self._settle(incoming, incoming_packed, group, frame)
 
-        # The new block's own fill write into d-group 0 (fill buffer;
-        # no demand-port occupancy).
-        self._ecounts[self._k_dg_write[0]] += 1
+        # The new block's own fill write into its entry d-group (fill
+        # buffer; no demand-port occupancy).
+        self._ecounts[self._k_dg_write[start]] += 1
         sc["dgroup_accesses"] = sc.get("dgroup_accesses", 0) + 1
 
         packed = self._tags[index].get(baddr)
@@ -586,6 +595,15 @@ class NuRAPIDCache:
                 cycle=now,
             )
         return writebacks
+
+    def _fill_start_group(self, baddr: int) -> int:
+        """D-group a freshly filled block enters (hook for variants).
+
+        The paper's policy is distance placement into the fastest
+        group; the compressed variant steers lines that will not
+        compress past the compressed groups.
+        """
+        return 0
 
     def _settle(
         self,
@@ -631,6 +649,17 @@ class NuRAPIDCache:
         store.release(frame)
         self._replacer.remove(dgroup, self._region_of(addr), frame)
         return packed
+
+    def _ensure_chain_space(self, region: int, start: int) -> int:
+        """Make a frame reachable for a chain entering at ``start``.
+
+        The base policy always starts chains at d-group 0, where every
+        free frame in the region is reachable by demotion, so there is
+        nothing to do.  Variants that steer fills past the fastest
+        groups (compressed NuRAPID) override this to evict when the
+        reachable tail is full.  Returns writebacks.
+        """
+        return 0
 
     def _evict_for_space(self, region: int) -> int:
         """Evict a distance victim of ``region``; returns writebacks.
@@ -717,17 +746,12 @@ class NuRAPIDCache:
         """
         if self.resident_blocks():
             raise SimulationError("prewarm on a non-empty cache")
-        assoc = self.config.associativity
         n_dgroups = self.config.n_dgroups
-        if assoc % n_dgroups:
-            raise SimulationError(
-                "prewarm requires associativity divisible by d-groups"
-            )
+        ways_by_group = self._prewarm_ways()
         sets = self.config.n_sets
         n_regions = self.config.n_regions
         bb = self.block_bytes
         base = self.PREWARM_BASE
-        ways_per_group = assoc // n_dgroups
 
         # Bulk equivalent of the block-at-a-time loop (for index, for
         # way: allocate + insert + tag + LRU-insert).  Frames come off
@@ -735,8 +759,11 @@ class NuRAPIDCache:
         # allocation order below — set index ascending, way ascending —
         # reproduces the exact same frame assignment and policy order;
         # allocate_run/insert_many are one-call equivalents.
+        way_base = 0
         for group in range(n_dgroups):
-            ways = np.arange(group * ways_per_group, (group + 1) * ways_per_group)
+            ways_per_group = ways_by_group[group]
+            ways = np.arange(way_base, way_base + ways_per_group)
+            way_base += ways_per_group
             group_bits = group << _PACK_DGROUP_SHIFT
             for region in range(n_regions):
                 indices = range(region, sets, n_regions)
@@ -765,13 +792,28 @@ class NuRAPIDCache:
             base
             + (
                 np.arange(sets, dtype=np.int64)[:, None]
-                + np.arange(assoc, dtype=np.int64)[None, :] * sets
+                + np.arange(way_base, dtype=np.int64)[None, :] * sets
             )
             * bb
         ).tolist()
         data_lru = self._data_lru
         for index, row in enumerate(rows):
             data_lru[index].insert_many(row)
+
+    def _prewarm_ways(self) -> List[int]:
+        """Dummy ways to fill per d-group (hook for variant caches).
+
+        The default puts ``assoc / n_dgroups`` ways in every group —
+        the paper's steady state; variants with enlarged groups return
+        bigger counts so prewarm fills every frame they actually have.
+        """
+        assoc = self.config.associativity
+        n_dgroups = self.config.n_dgroups
+        if assoc % n_dgroups:
+            raise SimulationError(
+                "prewarm requires associativity divisible by d-groups"
+            )
+        return [assoc // n_dgroups] * n_dgroups
 
     # --- introspection / verification ---
 
@@ -796,7 +838,7 @@ class NuRAPIDCache:
         """
         resident = 0
         for index, tag_set in enumerate(self._tags):
-            if len(tag_set) > self.config.associativity:
+            if len(tag_set) > self._assoc_limit:
                 raise SimulationError(f"set {index} over associativity")
             if len(self._data_lru[index]) != len(tag_set):
                 raise SimulationError(f"set {index} LRU/tag size mismatch")

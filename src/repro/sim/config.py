@@ -28,6 +28,8 @@ from repro.caches.hierarchy import CacheHierarchy, UniformLowerLevel
 from repro.caches.memory import MainMemory
 from repro.caches.setassoc_nonuniform import SetAssociativePlacementCache
 from repro.caches.simple import SetAssociativeCache
+from repro.cmp.config import CmpConfig
+from repro.cmp.contention import ContendedLLC
 from repro.cpu.core import CoreParams
 from repro.faults.models import FaultPlan
 from repro.floorplan.dgroups import build_uniform_cache_spec
@@ -110,6 +112,11 @@ class SystemConfig:
     #: "approx" trades bit identity for an analytical fast-forward
     #: with tolerance-gated accuracy (see repro.sim.approx).
     engine: Optional[str] = None
+    #: Optional CMP scenario axis (cores sharing this LLC, bank
+    #: contention, compressed NuRAPID).  None — and, by contract,
+    #: ``CmpConfig(cores=1)`` without contention/compression — keeps
+    #: runs bit-identical to the single-core model.
+    cmp: Optional[CmpConfig] = None
 
     def __post_init__(self) -> None:
         if self.engine is not None and self.engine not in ENGINES:
@@ -131,6 +138,31 @@ class SystemConfig:
             raise ConfigurationError(
                 "hard subarray faults are only modeled for NuRAPID d-groups"
             )
+        if self.cmp is not None:
+            if self.cmp.compression is not None and self.l2_kind != "nurapid":
+                raise ConfigurationError(
+                    "compressed lines are only modeled for NuRAPID "
+                    f"(l2_kind {self.l2_kind!r})"
+                )
+            if self.cmp.contention is not None and self.l2_kind == "base":
+                raise ConfigurationError(
+                    "bank contention is modeled for the non-uniform caches; "
+                    "the base hierarchy keeps its fixed L2/L3 latencies"
+                )
+            if self.cmp.compression is not None and self.faults is not None:
+                raise ConfigurationError(
+                    "fault injection is not modeled for compressed NuRAPID"
+                )
+            if self.cmp.cores > 1:
+                if self.faults is not None:
+                    raise ConfigurationError(
+                        "fault injection is single-core only; drop faults or cores"
+                    )
+                if self.engine == "approx":
+                    raise ConfigurationError(
+                        "the approx engine has no multi-core model; "
+                        "pick an exact engine for cores > 1"
+                    )
 
 
 # --- factory helpers for the paper's configurations ---
@@ -223,7 +255,20 @@ def build_lower_level(config: SystemConfig):
     When ``config.faults`` is set, the cache under study (L2) is armed
     with a :class:`~repro.faults.injector.FaultInjector` before any
     traffic; other levels run fault-free.
+
+    ``config.cmp`` swaps in the compressed NuRAPID variant and/or
+    wraps the cache under study with per-bank contention queues —
+    build-time concerns, applied whether the run is single- or
+    multi-core.
     """
+    lower = _build_cache_under_study(config)
+    cmp = config.cmp
+    if cmp is not None and cmp.contention is not None:
+        lower[0] = ContendedLLC(lower[0], cmp.contention)
+    return lower
+
+
+def _build_cache_under_study(config: SystemConfig):
     if config.l2_kind == "base":
         l2 = SetAssociativeCache(
             build_uniform_cache_spec(
@@ -248,7 +293,12 @@ def build_lower_level(config: SystemConfig):
         return [UniformLowerLevel(l2), UniformLowerLevel(l3)]
     if config.l2_kind == "nurapid":
         assert config.nurapid is not None
-        cache = NuRAPIDCache(config.nurapid)
+        if config.cmp is not None and config.cmp.compression is not None:
+            from repro.nurapid.compression import CompressedNuRAPIDCache
+
+            cache = CompressedNuRAPIDCache(config.nurapid, config.cmp.compression)
+        else:
+            cache = NuRAPIDCache(config.nurapid)
         if config.faults is not None:
             cache.attach_faults(config.faults)
         return [cache]

@@ -182,6 +182,12 @@ def _attach_telemetry(system: System, core: CoreModel, session: Telemetry) -> No
             continue
         attached.add(id(target))
         target.telemetry = session.cache_client(target.name)
+    for level in system.lower:
+        # Contended LLCs record the queue depth each access observes.
+        if "queue_depth_hist" in getattr(level, "__dict__", {}):
+            level.queue_depth_hist = session.histogram(
+                f"{level.name}.bank_queue_depth", occupancy_bounds(16)
+            )
     system.hierarchy.miss_latency_hist = session.histogram(
         "hierarchy.l1_miss_latency", LATENCY_BOUNDS
     )
@@ -203,6 +209,41 @@ def _cache_counters(target) -> Dict[str, float]:
     }
 
 
+def _capture_lower(session: Telemetry, target) -> None:
+    """End-of-run gauges for one lower level: counters, energy,
+    occupancy, single-port pressure, and banked-queue aggregates.
+
+    Shared with the CMP engine, which captures the same lower levels
+    once while keeping per-core books separate.
+    """
+    session.capture_counters(target.name, _cache_counters(target))
+    session.capture_energy(target.name, target.energy)
+    occupancy = getattr(target, "dgroup_occupancy", None)
+    if occupancy is not None:
+        for group, (occupied, frames) in enumerate(occupancy()):
+            session.capture_gauge(f"{target.name}.dg{group}.occupied", occupied)
+            session.capture_gauge(f"{target.name}.dg{group}.frames", frames)
+    port = getattr(target, "port", None)
+    if port is not None:
+        session.capture_gauge(f"{target.name}.port.busy_cycles", port.total_busy)
+        session.capture_gauge(f"{target.name}.port.wait_cycles", port.total_wait)
+        session.capture_gauge(f"{target.name}.port.grants", port.grants)
+    bank_ports = getattr(target, "bank_ports", None)
+    if bank_ports:
+        session.capture_gauge(f"{target.name}.bankq.banks", len(bank_ports))
+        session.capture_gauge(
+            f"{target.name}.bankq.busy_cycles",
+            sum(p.total_busy for p in bank_ports),
+        )
+        session.capture_gauge(
+            f"{target.name}.bankq.wait_cycles",
+            sum(p.total_wait for p in bank_ports),
+        )
+        session.capture_gauge(
+            f"{target.name}.bankq.grants", sum(p.grants for p in bank_ports)
+        )
+
+
 def _capture_telemetry(system: System, core: CoreModel, session: Telemetry) -> None:
     """End-of-run gauges: counters, energy, occupancy, port pressure."""
     captured = set()
@@ -217,18 +258,7 @@ def _capture_telemetry(system: System, core: CoreModel, session: Telemetry) -> N
         if id(target) in captured:
             continue
         captured.add(id(target))
-        session.capture_counters(target.name, _cache_counters(target))
-        session.capture_energy(target.name, target.energy)
-        occupancy = getattr(target, "dgroup_occupancy", None)
-        if occupancy is not None:
-            for group, (occupied, frames) in enumerate(occupancy()):
-                session.capture_gauge(f"{target.name}.dg{group}.occupied", occupied)
-                session.capture_gauge(f"{target.name}.dg{group}.frames", frames)
-        port = getattr(target, "port", None)
-        if port is not None:
-            session.capture_gauge(f"{target.name}.port.busy_cycles", port.total_busy)
-            session.capture_gauge(f"{target.name}.port.wait_cycles", port.total_wait)
-            session.capture_gauge(f"{target.name}.port.grants", port.grants)
+        _capture_lower(session, target)
     session.capture_counters("hierarchy", system.hierarchy.stats.as_dict())
     session.capture_gauge("memory.reads", system.memory.reads)
     session.capture_gauge("memory.writes", system.memory.writes)
@@ -258,6 +288,29 @@ def run_benchmark(
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigurationError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    if config.cmp is not None and config.cmp.cores > 1:
+        # Multi-core runs interleave their own per-core traces and
+        # replay through per-core hierarchies over the shared LLC.
+        # cores=1 deliberately falls through to the unchanged
+        # single-core path below (the bit-identity contract).
+        if trace is not None:
+            raise ConfigurationError(
+                "CMP runs generate and interleave their own per-core "
+                "traces; pass trace=None"
+            )
+        from repro.cmp.engine import run_cmp
+
+        return run_cmp(
+            config,
+            benchmark,
+            n_references=n_references,
+            seed=seed,
+            warmup_fraction=warmup_fraction,
+            energy_model=energy_model,
+            warm_set_conflict=warm_set_conflict,
+            prewarm=prewarm,
+            telemetry=telemetry,
         )
     engine = resolve_engine(config.engine)
     session: Optional[Telemetry] = None
@@ -436,10 +489,11 @@ def run_suite(
     tasks = []
     try:
         cache: Optional[TraceCache] = None
+        is_cmp = config.cmp is not None and config.cmp.cores > 1
         for index, name in enumerate(benchmarks):
             trace = traces.get(name) if traces else None
             trace_path = None
-            if trace is None:
+            if trace is None and not is_cmp:
                 if cache is None:
                     if cache_dir is None:
                         scratch = tempfile.mkdtemp(prefix="repro-trace-cache-")

@@ -165,8 +165,13 @@ def memoizable_payload(payload: Dict[str, object]) -> bool:
     return outcome.get("status") == "ok" and outcome.get("attempts") == 1
 
 
-def _attempt_trace(task: CellTask, attempt: int) -> Trace:
+def _attempt_trace(task: CellTask, attempt: int) -> Optional[Trace]:
     """The cell's trace for one attempt (shared base, or reseeded)."""
+    cmp = getattr(task.config, "cmp", None)
+    if cmp is not None and cmp.cores > 1:
+        # CMP runs interleave per-core streams inside run_benchmark; a
+        # pre-generated single-stream trace would be rejected there.
+        return None
     if attempt == 0:
         if task.trace is not None:
             return task.trace

@@ -412,11 +412,15 @@ class Sweep:
             ):
                 break
             attempts += 1
+            is_cmp = (
+                point.config.cmp is not None and point.config.cmp.cores > 1
+            )
             try:
                 result = run_benchmark(
                     _reseed_config(point.config, attempt * self.reseed_step),
                     benchmark,
-                    trace=self._trace(benchmark, attempt),
+                    n_references=self.n_references,
+                    trace=None if is_cmp else self._trace(benchmark, attempt),
                     warmup_fraction=self.warmup_fraction,
                     seed=self.seed + attempt * self.reseed_step,
                     telemetry=self.telemetry,
@@ -608,7 +612,14 @@ class Sweep:
                 n_references=self.n_references,
                 seed=self.seed,
                 warmup_fraction=self.warmup_fraction,
-                trace_path=paths[benchmark],
+                # CMP cells interleave per-core traces in the worker
+                # (_attempt_trace returns None for them anyway).
+                trace_path=(
+                    None
+                    if points[index].config.cmp is not None
+                    and points[index].config.cmp.cores > 1
+                    else paths[benchmark]
+                ),
                 max_retries=self.max_retries,
                 reseed_step=self.reseed_step,
                 budget_s=self.point_budget_s,

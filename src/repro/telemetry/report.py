@@ -26,6 +26,10 @@ from repro.telemetry.profile import format_profile
 from repro.telemetry.registry import Histogram, StatRegistry
 
 _DG_COUNTER = re.compile(r"^(?P<cache>.+)\.dg(?P<group>\d+)\.(?P<what>hits|frames)$")
+_PORT_GAUGE = re.compile(
+    r"^(?P<cache>.+)\.(?P<kind>port|bankq)\."
+    r"(?P<what>banks|busy_cycles|wait_cycles|grants)$"
+)
 
 
 def extract_payloads(document: Mapping[str, object]) -> List[Tuple[str, Dict[str, object]]]:
@@ -146,6 +150,35 @@ def dgroup_rows(registry: StatRegistry, cache: str) -> List[Dict[str, object]]:
     return rows
 
 
+def port_pressure_rows(registry: StatRegistry) -> List[Dict[str, object]]:
+    """Queue-pressure rows for every single-port or banked resource.
+
+    One row per (cache, kind): grants, busy and wait cycles, and the
+    mean wait per grant — the load-dependent part of access latency.
+    """
+    resources: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for name, value in registry.counters().items():
+        match = _PORT_GAUGE.match(name)
+        if match:
+            key = (match.group("cache"), match.group("kind"))
+            resources.setdefault(key, {})[match.group("what")] = value
+    rows = []
+    for (cache, kind), stats in sorted(resources.items()):
+        grants = stats.get("grants", 0.0)
+        wait = stats.get("wait_cycles", 0.0)
+        rows.append(
+            {
+                "resource": f"{cache}.{kind}",
+                "banks": int(stats["banks"]) if "banks" in stats else 1,
+                "grants": grants,
+                "busy_cycles": stats.get("busy_cycles", 0.0),
+                "wait_cycles": wait,
+                "avg_wait": wait / grants if grants else 0.0,
+            }
+        )
+    return rows
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
@@ -193,6 +226,24 @@ def render_report(
         lines.append("")
         lines.append("-- d-group access distribution --")
         lines.append(distribution_chart(chart_rows, legend_groups=max_groups))
+
+    pressure = port_pressure_rows(registry)
+    if pressure:
+        lines.append("")
+        lines.append("-- port / bank-queue pressure --")
+        lines.extend(
+            _table(
+                pressure,
+                [
+                    "resource",
+                    "banks",
+                    "grants",
+                    "busy_cycles",
+                    "wait_cycles",
+                    "avg_wait",
+                ],
+            )
+        )
 
     histograms = registry.histograms()
     if histograms:

@@ -1,0 +1,158 @@
+"""Deterministic multi-core trace interleaving for shared-LLC runs.
+
+A chip-multiprocessor scenario replays N independent per-core
+reference streams against one shared L2.  Each core's stream comes
+from the usual seeded generator; this module merges them into a single
+stream ordered by *virtual time* (the cycle each reference would issue
+at if its core ran alone at its profile IPC) and tags every record
+with the issuing core.
+
+Two properties matter downstream:
+
+* **Determinism** — the merge is a stable sort over exact float64
+  cumulative-gap arrays derived from seeded traces, so the same seeds
+  always produce the same interleaving, on any worker process.
+* **Address isolation** — each core's addresses are offset by
+  ``core_id << CORE_ADDR_SHIFT`` so streams never alias in the shared
+  cache (cores only *compete for capacity*, they do not share data).
+  Core 0's addresses are untouched, which is what makes a one-core
+  "CMP" trace byte-identical to the plain single-core trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.trace import Trace
+
+#: Bit position of the per-core address-space offset.  The workload
+#: generators emit byte addresses well below 2**38, and the NuRAPID
+#: prewarm dummy region starts at 2**45, so 16 cores fit between the
+#: two without any stream aliasing another core's (or the dummies).
+CORE_ADDR_SHIFT = 38
+
+#: Most cores one LLC can be shared by (core id must fit in address
+#: bits CORE_ADDR_SHIFT .. CORE_ADDR_SHIFT+3).
+MAX_CORES = 16
+
+
+def core_of_address(address: int) -> int:
+    """Recover the issuing core id from an offset byte address."""
+    return (int(address) >> CORE_ADDR_SHIFT) & (MAX_CORES - 1)
+
+
+def parse_cmp_benchmark(benchmark: str, cores: int) -> List[str]:
+    """Expand a CMP benchmark spec into one app name per core.
+
+    ``"twolf"`` runs the same app on every core (rate mode);
+    ``"twolf+mcf"`` pins one named app per core and must list exactly
+    ``cores`` parts.  Names are validated by the caller's
+    :func:`~repro.workloads.spec2k.get_benchmark` lookups.
+    """
+    parts = [part.strip() for part in benchmark.split("+")]
+    if any(not part for part in parts):
+        raise ConfigurationError(f"empty app name in CMP spec {benchmark!r}")
+    if len(parts) == 1:
+        return parts * cores
+    if len(parts) != cores:
+        raise ConfigurationError(
+            f"CMP spec {benchmark!r} names {len(parts)} apps "
+            f"but the config has {cores} cores"
+        )
+    return parts
+
+
+@dataclass(frozen=True)
+class CmpTrace:
+    """A merged shared-L2 reference stream with per-core provenance.
+
+    ``trace`` holds the interleaved columns (addresses already offset
+    per core); ``cores[i]`` is the core that issues record ``i``.
+    """
+
+    trace: Trace
+    cores: np.ndarray
+    n_cores: int
+    benchmarks: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cores) != len(self.trace):
+            raise ConfigurationError(
+                f"provenance column has {len(self.cores)} entries "
+                f"for {len(self.trace)} records"
+            )
+        if not 1 <= self.n_cores <= MAX_CORES:
+            raise ConfigurationError(
+                f"n_cores must be in [1, {MAX_CORES}], got {self.n_cores}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+    def split(self, fraction: float) -> Tuple["CmpTrace", "CmpTrace"]:
+        """Split into (warmup, measured) at the same cut as Trace.split."""
+        warm, rest = self.trace.split(fraction)
+        cut = len(warm)
+        return (
+            CmpTrace(warm, self.cores[:cut], self.n_cores, self.benchmarks),
+            CmpTrace(rest, self.cores[cut:], self.n_cores, self.benchmarks),
+        )
+
+
+def interleave_traces(
+    traces: Sequence[Trace],
+    core_ipcs: Sequence[float],
+    benchmark: str = "",
+) -> CmpTrace:
+    """Merge per-core traces into one shared-L2 stream.
+
+    Each core's references are placed at their standalone virtual
+    issue time ``cumsum(gaps) / core_ipc`` and the streams are merged
+    by a stable sort, so equal-time references keep core order.  Gaps
+    stay per-core: during replay each record advances only its own
+    core by its own gap, so per-core instruction counts are exact.
+    """
+    if not traces:
+        raise ConfigurationError("need at least one per-core trace")
+    if len(traces) > MAX_CORES:
+        raise ConfigurationError(
+            f"at most {MAX_CORES} cores per LLC, got {len(traces)}"
+        )
+    if len(core_ipcs) != len(traces):
+        raise ConfigurationError(
+            f"{len(core_ipcs)} IPCs for {len(traces)} traces"
+        )
+    names = tuple(t.benchmark for t in traces)
+    label = benchmark or "+".join(names)
+    if len(traces) == 1:
+        t = traces[0]
+        merged = Trace(
+            benchmark=label, gaps=t.gaps, addresses=t.addresses, writes=t.writes
+        )
+        return CmpTrace(merged, np.zeros(len(t), dtype=np.int16), 1, names)
+
+    times: List[np.ndarray] = []
+    owners: List[np.ndarray] = []
+    offset_addrs: List[np.ndarray] = []
+    for core, (trace, ipc) in enumerate(zip(traces, core_ipcs)):
+        if ipc <= 0:
+            raise ConfigurationError(f"core {core} IPC must be positive, got {ipc}")
+        if not len(trace):
+            raise ConfigurationError(f"core {core} trace is empty")
+        times.append(np.cumsum(trace.gaps, dtype=np.float64) / float(ipc))
+        owners.append(np.full(len(trace), core, dtype=np.int16))
+        offset_addrs.append(
+            trace.addresses.astype(np.int64) + (core << CORE_ADDR_SHIFT)
+        )
+    order = np.argsort(np.concatenate(times), kind="stable")
+    merged = Trace(
+        benchmark=label,
+        gaps=np.concatenate([t.gaps for t in traces])[order],
+        addresses=np.concatenate(offset_addrs)[order],
+        writes=np.concatenate([t.writes for t in traces])[order],
+    )
+    return CmpTrace(merged, np.concatenate(owners)[order], len(traces), names)

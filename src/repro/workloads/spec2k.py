@@ -77,6 +77,12 @@ class BenchmarkProfile:
     #: Popularity skew within the warm region; low values spread the
     #: traffic over the whole region (effective working set ~= size).
     warm_zipf_alpha: float = 0.25
+    #: Fraction of this application's lines that compress (FPC/BDI
+    #: style); the compressed-NuRAPID variant draws per-line
+    #: compressibility against this share.  Integer codes compress
+    #: readily (small immediates, zero runs) while FP data is dense,
+    #: so Int profiles sit higher.
+    compressibility: float = 0.65
 
     def __post_init__(self) -> None:
         shares = (
@@ -96,6 +102,8 @@ class BenchmarkProfile:
             raise ConfigurationError(f"{self.name}: region sizes must be positive")
         if self.stream_stride <= 0:
             raise ConfigurationError(f"{self.name}: stream stride must be positive")
+        if not 0.0 <= self.compressibility <= 1.0:
+            raise ConfigurationError(f"{self.name}: compressibility out of range")
 
     @property
     def beyond_l1_fraction(self) -> float:
@@ -139,7 +147,7 @@ SPEC2K_SUITE: Dict[str, BenchmarkProfile] = {
            bulk_share=0.16, stream_share=0.04, zipf_alpha=0.7,
            write_fraction=0.18, stream_stride=64, core_ipc=2.6,
            exposure=0.75, branch_fraction=0.10, mispredict_rate=0.04,
-           warm_set_conflict=3),
+           warm_set_conflict=3, compressibility=0.52),
         _p(name="bzip2", suite="Int", load_class="high", table3_ipc=1.2,
            table3_l2_apki=20.0, mem_fraction=0.33, hot_bytes=28 * KB,
            warm_bytes=1500 * KB, bulk_bytes=7 * MB, l2hot_bytes=160 * KB, l2hot_share=0.45,
@@ -147,7 +155,7 @@ SPEC2K_SUITE: Dict[str, BenchmarkProfile] = {
            bulk_share=0.28, stream_share=0.1, zipf_alpha=1.1,
            write_fraction=0.32, stream_stride=32, core_ipc=3.3,
            exposure=0.55, branch_fraction=0.14, mispredict_rate=0.06,
-           warm_set_conflict=2),
+           warm_set_conflict=2, compressibility=0.35),
         _p(name="equake", suite="FP", load_class="high", table3_ipc=0.7,
            table3_l2_apki=39.0, mem_fraction=0.38, hot_bytes=20 * KB,
            warm_bytes=1100 * KB, bulk_bytes=8 * MB, l2hot_bytes=192 * KB, l2hot_share=0.42,
@@ -169,7 +177,8 @@ SPEC2K_SUITE: Dict[str, BenchmarkProfile] = {
            warm_share=0.17,
            bulk_share=0.45, stream_share=0.1, zipf_alpha=0.75,
            write_fraction=0.14, stream_stride=128, core_ipc=2.2,
-           exposure=0.75, branch_fraction=0.18, mispredict_rate=0.08),
+           exposure=0.75, branch_fraction=0.18, mispredict_rate=0.08,
+           compressibility=0.78),
         _p(name="mgrid", suite="FP", load_class="high", table3_ipc=0.8,
            table3_l2_apki=30.0, mem_fraction=0.37, hot_bytes=24 * KB,
            warm_bytes=1800 * KB, bulk_bytes=9 * MB, l2hot_bytes=192 * KB, l2hot_share=0.45,
@@ -199,7 +208,7 @@ SPEC2K_SUITE: Dict[str, BenchmarkProfile] = {
            bulk_share=0.29, stream_share=0.06, zipf_alpha=0.6,
            write_fraction=0.26, stream_stride=32, core_ipc=2.9,
            exposure=0.56, branch_fraction=0.16, mispredict_rate=0.07,
-           warm_set_conflict=2),
+           warm_set_conflict=2, compressibility=0.74),
         _p(name="vpr", suite="Int", load_class="high", table3_ipc=0.9,
            table3_l2_apki=16.0, mem_fraction=0.34, hot_bytes=24 * KB,
            warm_bytes=1600 * KB, bulk_bytes=5 * MB, l2hot_bytes=144 * KB, l2hot_share=0.45,

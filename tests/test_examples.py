@@ -92,6 +92,17 @@ def test_parallel_sweep(monkeypatch, capsys, tmp_path):
     assert "bit-identical: True" in out
 
 
+def test_cmp_contention(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch, capsys, "examples/cmp_contention.py",
+        ["cmp_contention.py", "twolf", "8000"],
+    )
+    assert "chip throughput" in out
+    assert "scaling vs 1 core" in out
+    assert "fairness (Jain)" in out
+    assert "mixed twolf+mcf" in out
+
+
 def test_simulation_service(monkeypatch, capsys):
     out = run_example(
         monkeypatch, capsys, "examples/simulation_service.py",
