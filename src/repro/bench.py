@@ -60,6 +60,7 @@ from repro.telemetry.report import merge_payloads, render_report
 from repro.telemetry.runtime import runtime_registry
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceCache, default_trace_cache_dir
+from repro.workloads.transport import ensure_decoded
 
 DEFAULT_REFS = 120_000
 DEFAULT_BENCHMARKS = ["galgel", "twolf"]
@@ -166,6 +167,10 @@ def _pool_tasks(
     warmup: float,
 ):
     cells = [(c, b) for c in configs for b in benchmarks]
+    mmap_paths = {
+        benchmark: ensure_decoded(path)
+        for benchmark, path in trace_paths.items()
+    }
     tasks = [
         CellTask(
             index=i,
@@ -175,6 +180,7 @@ def _pool_tasks(
             seed=seed,
             warmup_fraction=warmup,
             trace_path=trace_paths[benchmark],
+            mmap_path=mmap_paths[benchmark],
             isolate_errors=False,
         )
         for i, (config, benchmark) in enumerate(cells)
@@ -838,17 +844,41 @@ def main(argv=None) -> int:
     kernel_refs = kernel_delta.get("vectorized.refs", 0)
     if kernel_refs:
         # Chunk-kernel strategy stats for the serial pass (all
-        # repetitions), from the process-global runtime registry.
+        # repetitions), from the process-global runtime registry: how
+        # many references each tier resolved (L1 run-vector, L2
+        # fast-d-group, scalar walk) and where the kernel wall went.
+        wall = kernel_delta.get("vectorized.wall_s", 0.0)
+        probe = kernel_delta.get("vectorized.probe_wall_s", 0.0)
+        apply_ = kernel_delta.get("vectorized.l1_apply_wall_s", 0.0)
         entry["kernel"] = {
             "window": WINDOW,
             "min_run": MIN_RUN,
             "refs": int(kernel_refs),
             "refs_vector": int(kernel_delta.get("vectorized.refs_vector", 0)),
+            "l2_refs_vector": int(
+                kernel_delta.get("vectorized.l2_refs_vector", 0)
+            ),
+            "l2_runs_applied": int(
+                kernel_delta.get("vectorized.l2_runs_applied", 0)
+            ),
             "refs_scalar": int(kernel_delta.get("vectorized.refs_scalar", 0)),
             "vector_fraction": round(
-                kernel_delta.get("vectorized.refs_vector", 0) / kernel_refs, 4
+                (
+                    kernel_delta.get("vectorized.refs_vector", 0)
+                    + kernel_delta.get("vectorized.l2_refs_vector", 0)
+                )
+                / kernel_refs,
+                4,
             ),
             "fallbacks": int(kernel_delta.get("vectorized.fallbacks", 0)),
+            "wall_s": round(wall, 3),
+            "probe_wall_share": round(probe / wall, 4) if wall else 0.0,
+            "apply_wall_share": round(apply_ / wall, 4) if wall else 0.0,
+            "scalar_wall_share": round(
+                max(0.0, wall - probe - apply_) / wall, 4
+            )
+            if wall
+            else 0.0,
         }
     supervised_identical = True
     if supervised is not None:

@@ -67,6 +67,21 @@ class EvictionPolicy(abc.ABC):
         for key in keys:
             self.insert(key)
 
+    def state_copy(self) -> object:
+        """Snapshot the tracked-key state (not any RNG) as plain containers.
+
+        ``other.load_state(snapshot)`` restores a policy of the same
+        class to exactly this tracking state; both directions copy, so
+        snapshots never alias live policy containers.  Used by the
+        prewarm prototype cache to clone steady-state setup instead of
+        re-running it.
+        """
+        raise SimulationError(f"{type(self).__name__} does not support state_copy")
+
+    def load_state(self, state: object) -> None:
+        """Install a :meth:`state_copy` snapshot (copying it)."""
+        raise SimulationError(f"{type(self).__name__} does not support load_state")
+
 
 class LRUPolicy(EvictionPolicy):
     """True least-recently-used.
@@ -114,6 +129,12 @@ class LRUPolicy(EvictionPolicy):
     def lru_to_mru(self) -> Iterator[Hashable]:
         """Iterate keys from least to most recently used (for tests)."""
         return iter(self._order)
+
+    def state_copy(self) -> object:
+        return dict(self._order)
+
+    def load_state(self, state: object) -> None:
+        self._order = dict(state)  # type: ignore[call-overload]
 
     def __len__(self) -> int:
         return len(self._order)
@@ -182,6 +203,17 @@ class RandomPolicy(EvictionPolicy):
         if self._pending_victim is None or self._pending_victim not in self._index:
             self._pending_victim = self._keys[self._rng.randint(0, len(self._keys) - 1)]
         return self._pending_victim
+
+    def state_copy(self) -> object:
+        # The RNG stream is deliberately NOT part of the snapshot: the
+        # restoring policy keeps its own (identically-seeded) stream.
+        return (list(self._keys), dict(self._index), self._pending_victim)
+
+    def load_state(self, state: object) -> None:
+        keys, index, pending = state  # type: ignore[misc]
+        self._keys = list(keys)
+        self._index = dict(index)
+        self._pending_victim = pending
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -255,6 +287,16 @@ class ApproxLRUPolicy(EvictionPolicy):
             else:
                 return key
         return self._keys[self._hand]
+
+    def state_copy(self) -> object:
+        return (list(self._keys), dict(self._index), dict(self._refbit), self._hand)
+
+    def load_state(self, state: object) -> None:
+        keys, index, refbit, hand = state  # type: ignore[misc]
+        self._keys = list(keys)
+        self._index = dict(index)
+        self._refbit = dict(refbit)
+        self._hand = hand
 
     def __len__(self) -> int:
         return len(self._keys)

@@ -29,6 +29,7 @@ from repro.telemetry import TelemetryConfig, telemetry_from_env
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceCache, default_trace_cache_dir, generate_trace
+from repro.workloads.transport import ensure_decoded
 
 
 @dataclass(frozen=True)
@@ -262,6 +263,7 @@ def run_matrix(
                     warmup_fraction=scale.warmup_fraction,
                     trace=trace,
                     trace_path=trace_path,
+                    mmap_path=ensure_decoded(trace_path),
                     isolate_errors=False,
                     telemetry=default_telemetry(),
                 )

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.common import prewarm_cache
 from repro.common.errors import ConfigurationError
 from repro.common.stats import Counter, Distribution
 from repro.common.types import AccessResult
@@ -200,6 +201,19 @@ class SNUCACache:
         bb = self.block_bytes
         base = self.PREWARM_BASE
         assoc = self.associativity
+        # The fill is a pure function of the geometry-free shape (sets,
+        # ways, block size): reuse a process-wide prototype when this
+        # cache is empty (see repro.common.prewarm_cache).
+        key = None
+        if not any(self._sets):
+            key = f"{type(self).__qualname__}|{n_sets}|{assoc}|{bb}"
+            proto = prewarm_cache.get(key)
+            if proto is not None:
+                sets, lru = proto
+                self._sets = [dict(s) for s in sets]
+                for policy, state in zip(self._lru, lru):
+                    policy.load_state(state)
+                return
         # base + (way*n_sets + index)*bb for every (set, way), one C pass.
         rows = (
             base
@@ -225,6 +239,14 @@ class SNUCACache:
                     resident[baddr] = False
                     fresh.append(baddr)
             self._lru[index].insert_many(fresh)
+        if key is not None:
+            prewarm_cache.put(
+                key,
+                (
+                    [dict(s) for s in self._sets],
+                    [p.state_copy() for p in self._lru],
+                ),
+            )
 
     def reset_stats(self) -> None:
         self.stats.reset()

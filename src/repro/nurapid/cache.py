@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cost
     from repro.faults.injector import FaultInjector
     from repro.faults.models import FaultPlan, HardFaultEvent
     from repro.telemetry import CacheTelemetry
+from repro.common import prewarm_cache
 from repro.common.lru import LRUPolicy
 from repro.common.rng import DeterministicRNG
 from repro.common.stats import Counter, Distribution
@@ -78,6 +79,16 @@ _PACK_DIRTY = 1 << 28
 _PACK_PENDING_SHIFT = 29
 #: Everything except the pending-hits counter.
 _PACK_BELOW_PENDING = (1 << _PACK_PENDING_SHIFT) - 1
+
+
+@dataclass
+class _PrewarmSnapshot:
+    """Post-prewarm container state (see :mod:`repro.common.prewarm_cache`)."""
+
+    tags: List[Dict[int, int]]
+    lru: List[object]
+    stores: List[Tuple[List[Optional[int]], List[List[int]]]]
+    replacer: List[List[object]]
 
 
 class NuRAPIDCache:
@@ -746,6 +757,20 @@ class NuRAPIDCache:
         """
         if self.resident_blocks():
             raise SimulationError("prewarm on a non-empty cache")
+        # Prewarm is a pure function of the cache's construction
+        # parameters (no RNG draws, no stats/energy charges), so the
+        # first fill of a given shape is snapshotted process-wide and
+        # later fills of the same shape restore the snapshot instead.
+        # Hard-fault retirement happens at access time, after prewarm,
+        # so a retired frame here means a test drove the store directly
+        # — fall through to the real fill without caching.
+        pristine = not any(store._retired for store in self._stores)
+        key = self._prewarm_cache_key() if pristine else None
+        if key is not None:
+            proto = prewarm_cache.get(key)
+            if proto is not None:
+                self._prewarm_restore(proto)
+                return
         n_dgroups = self.config.n_dgroups
         ways_by_group = self._prewarm_ways()
         sets = self.config.n_sets
@@ -799,6 +824,45 @@ class NuRAPIDCache:
         data_lru = self._data_lru
         for index, row in enumerate(rows):
             data_lru[index].insert_many(row)
+        if key is not None:
+            prewarm_cache.put(key, self._prewarm_snapshot())
+
+    def _prewarm_cache_key(self) -> str:
+        """Registry key: everything the prewarm result depends on.
+
+        The dataclass repr covers every config field; variants with
+        extra shape state (compressed d-groups) extend the key.
+        """
+        return f"{type(self).__qualname__}|{self.config!r}"
+
+    def _prewarm_snapshot(self) -> "_PrewarmSnapshot":
+        return _PrewarmSnapshot(
+            tags=[dict(t) for t in self._tags],
+            lru=[p.state_copy() for p in self._data_lru],
+            stores=[
+                (list(s._resident), [list(f) for f in s._free])
+                for s in self._stores
+            ],
+            replacer=[
+                [p.state_copy() for p in row] for row in self._replacer._policies
+            ],
+        )
+
+    def _prewarm_restore(self, proto: "_PrewarmSnapshot") -> None:
+        """Install a prototype (copying — prototypes never alias).
+
+        Policy objects are mutated in place rather than replaced: the
+        hot-path ``_rtouch`` table caches their bound methods.
+        """
+        self._tags = [dict(t) for t in proto.tags]
+        for policy, state in zip(self._data_lru, proto.lru):
+            policy.load_state(state)
+        for store, (resident, free) in zip(self._stores, proto.stores):
+            store._resident = list(resident)
+            store._free = [list(f) for f in free]
+        for row, saved in zip(self._replacer._policies, proto.replacer):
+            for policy, state in zip(row, saved):
+                policy.load_state(state)
 
     def _prewarm_ways(self) -> List[int]:
         """Dummy ways to fill per d-group (hook for variant caches).

@@ -186,6 +186,11 @@ class CompressedNuRAPIDCache(NuRAPIDCache):
             f"region {region} has no evictable frame in the uncompressed tail"
         )
 
+    def _prewarm_cache_key(self) -> str:
+        # Compressed d-groups change the store shapes and way counts,
+        # so the prototype key must carry the compression config too.
+        return f"{super()._prewarm_cache_key()}|{self.compression!r}"
+
     def _prewarm_ways(self) -> List[int]:
         ratio = self.compression.ratio
         k = self._compressed_groups

@@ -59,6 +59,7 @@ from repro.telemetry.registry import StatRegistry
 from repro.telemetry.runtime import runtime_registry
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.tracegen import TraceCache
+from repro.workloads.transport import ensure_decoded
 
 MAX_BODY_BYTES = 8 * 1024 * 1024
 MAX_HEADER_BYTES = 64 * 1024
@@ -360,7 +361,7 @@ class SimulationServer:
         assert self._loop is not None
         for benchmark in sorted(set(request.benchmarks)):
             get_benchmark(benchmark)  # unknown names fail pre-admission
-            await self._loop.run_in_executor(
+            path = await self._loop.run_in_executor(
                 None,
                 self.traces.ensure,
                 benchmark,
@@ -368,6 +369,9 @@ class SimulationServer:
                 request.seed,
                 request.warm_set_conflict,
             )
+            # Lay the zero-copy decoded segment down once at admission
+            # (still off the event loop); workers mmap it per cell.
+            await self._loop.run_in_executor(None, ensure_decoded, path)
 
     def _cell_task(
         self,
@@ -377,6 +381,12 @@ class SimulationServer:
         benchmark: str,
         telemetry: Optional[TelemetryConfig],
     ) -> CellTask:
+        trace_path = self.traces.path_for(
+            benchmark,
+            request.n_references,
+            request.seed,
+            request.warm_set_conflict,
+        )
         return CellTask(
             index=index,
             config=config,
@@ -384,12 +394,8 @@ class SimulationServer:
             n_references=request.n_references,
             seed=request.seed,
             warmup_fraction=request.warmup_fraction,
-            trace_path=self.traces.path_for(
-                benchmark,
-                request.n_references,
-                request.seed,
-                request.warm_set_conflict,
-            ),
+            trace_path=trace_path,
+            mmap_path=ensure_decoded(trace_path),
             warm_set_conflict=request.warm_set_conflict,
             prewarm=request.prewarm,
             telemetry=telemetry,

@@ -483,6 +483,7 @@ def run_suite(
     )
     from repro.sim.results import run_result_from_dict
     from repro.workloads.tracegen import TraceCache, default_trace_cache_dir
+    from repro.workloads.transport import ensure_decoded
 
     cache_dir = trace_cache_dir or default_trace_cache_dir()
     scratch: Optional[str] = None
@@ -513,6 +514,7 @@ def run_suite(
                     warmup_fraction=warmup_fraction,
                     trace=trace,
                     trace_path=trace_path,
+                    mmap_path=ensure_decoded(trace_path),
                     warm_set_conflict=warm_set_conflict,
                     prewarm=prewarm,
                     energy_model=energy_model,

@@ -19,10 +19,14 @@ Two deliberate design points:
   ``spawn``, ``forkserver``).
 * **Traces travel by path, not by value.**  Workers load the shared
   base trace from an on-disk :class:`~repro.workloads.tracegen.TraceCache`
-  file with :meth:`~repro.workloads.trace.Trace.load` instead of
-  receiving tens of megabytes of pickled numpy arrays per cell;
-  retry attempts regenerate their reseeded traces in the worker, which
-  is exactly what the serial path does.
+  file instead of receiving tens of megabytes of pickled numpy arrays
+  per cell.  When the parent has laid down a decoded segment
+  (``mmap_path``, see :mod:`repro.workloads.transport`) the worker
+  memory-maps it zero-copy and memoizes the resulting trace — one
+  decode per worker process, however many cells it runs — and falls
+  back to :meth:`~repro.workloads.trace.Trace.load` on the ``.npz``
+  otherwise.  Retry attempts regenerate their reseeded traces in the
+  worker, which is exactly what the serial path does.
 
 Failure semantics mirror the serial sweep: with
 ``isolate_errors=True`` a :class:`~repro.common.errors.ReproError`
@@ -50,6 +54,7 @@ from repro.telemetry import TelemetryConfig
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import generate_trace
+from repro.workloads.transport import load_mmap_trace
 
 
 def reseed_config(config: SystemConfig, bump: int) -> SystemConfig:
@@ -106,6 +111,12 @@ class CellTask:
     #: Telemetry collection for the run; the payload rides back inside
     #: the RunResult dict, so parallel runs lose nothing vs serial.
     telemetry: Optional[TelemetryConfig] = None
+    #: Decoded-trace segment for zero-copy transport (see
+    #: :mod:`repro.workloads.transport`).  Purely an optimization over
+    #: ``trace_path``: workers mmap it when valid and fall back to
+    #: ``Trace.load`` otherwise, so it never changes results — which is
+    #: also why it does not participate in :func:`cell_fingerprint`.
+    mmap_path: Optional[str] = None
 
 
 #: Version of the :func:`cell_fingerprint` key layout.  Bump whenever
@@ -121,7 +132,8 @@ def cell_fingerprint(task: CellTask) -> Optional[str]:
     config fingerprint, the resolved engine, the trace parameters
     ``(benchmark, n_references, seed, warm_set_conflict)`` — the trace
     itself is a deterministic function of those, which is why
-    ``trace_path`` does not participate — plus warmup split, prewarm,
+    ``trace_path`` and ``mmap_path`` do not participate — plus warmup
+    split, prewarm,
     and the telemetry fingerprint.  Retry/budget knobs
     (``max_retries``, ``reseed_step``, ``budget_s``) are deliberately
     excluded: memoization stores only first-attempt successes (see
@@ -175,6 +187,12 @@ def _attempt_trace(task: CellTask, attempt: int) -> Optional[Trace]:
     if attempt == 0:
         if task.trace is not None:
             return task.trace
+        if task.mmap_path is not None:
+            trace = load_mmap_trace(
+                task.mmap_path, task.benchmark, task.n_references
+            )
+            if trace is not None:
+                return trace
         if task.trace_path is not None:
             return Trace.load(task.trace_path)
     return generate_trace(

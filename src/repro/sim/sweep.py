@@ -89,6 +89,7 @@ from repro.telemetry import TelemetryConfig
 from repro.workloads.spec2k import get_benchmark
 from repro.workloads.trace import Trace
 from repro.workloads.tracegen import TraceCache, default_trace_cache_dir, generate_trace
+from repro.workloads.transport import ensure_decoded
 
 #: Salt for :meth:`Sweep.signature`.  Deliberately pinned at 1 even
 #: though the checkpoint *file* layout is now v2
@@ -604,6 +605,10 @@ class Sweep:
             benchmark: cache.ensure(benchmark, self.n_references, seed=self.seed)
             for benchmark in sorted({b for _, b in pending})
         }
+        mmap_paths = {
+            benchmark: ensure_decoded(path)
+            for benchmark, path in paths.items()
+        }
         tasks = [
             CellTask(
                 index=position,
@@ -619,6 +624,12 @@ class Sweep:
                     if points[index].config.cmp is not None
                     and points[index].config.cmp.cores > 1
                     else paths[benchmark]
+                ),
+                mmap_path=(
+                    None
+                    if points[index].config.cmp is not None
+                    and points[index].config.cmp.cores > 1
+                    else mmap_paths[benchmark]
                 ),
                 max_retries=self.max_retries,
                 reseed_step=self.reseed_step,

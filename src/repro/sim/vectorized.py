@@ -17,7 +17,23 @@ numpy pre-pass over the columnar trace (:meth:`Trace.decoded_batch`):
    exact); dirty bits are set by one fancy assignment into a writable
    view of the L1's dirty bytearray; LRU stamps are committed in
    reference order so recency is untouched.
-3. Everything else — short runs, predicted misses, invalidated runs —
+3. **L2 tier** — when the level under the L1 is a NuRAPID cache with
+   no fault injector or telemetry attached, the same window pre-pass
+   probes the residual predicted-L1-miss references against NuRAPID's
+   packed int tag state (one gather over the per-set tag dicts, then a
+   numpy decode of the resident/d-group bits), flagging references
+   that are *provable fastest-d-group read hits*.  Flagged references
+   re-verify against the live tags in the scalar loop (fills,
+   promotions, and writebacks inside the window can move the block)
+   and, when still a d-group-0 hit, resolve through an inlined copy of
+   the dg0 read-hit path — exact per-reference stat/recency updates,
+   the same inline port arithmetic, energy charges batched (exact: the
+   energy book pre-registers its keys, so order is fixed) — without
+   the method call, ``AccessResult`` boxing, or dead fault/telemetry
+   branches.  Promotion candidates (hits outside d-group 0), misses,
+   demotion chains, faults, contention wrappers, and incompressible
+   placement all stay on the generic ``access``/``fill`` walk.
+4. Everything else — short runs, predicted misses, invalidated runs —
    drops into a scalar loop with fastpath semantics, further leaned
    down by per-reference ``gap/ipc`` and branch-penalty terms
    precomputed vectorized (elementwise float64 ops are bit-identical
@@ -43,22 +59,30 @@ which applies its own fallback chain; per-reference observation
 both demand a Python-level callback per reference.  Results are
 bit-identical either way.
 
-Kernel statistics (windows swept, refs resolved vectorized, scalar
-refs, invalidated runs) land in the process-global runtime registry
-(:mod:`repro.telemetry.runtime`) under ``vectorized.*`` — they
-describe execution strategy, not the simulated machine, so they stay
-out of run payloads.
+Kernel statistics (windows swept, refs resolved per tier, scalar
+refs, invalidated runs, stale L2 flags, wall-clock per stage) land in
+the process-global runtime registry (:mod:`repro.telemetry.runtime`)
+under ``vectorized.*`` — they describe execution strategy, not the
+simulated machine, so they stay out of run payloads.
 """
 
 from __future__ import annotations
 
 from itertools import islice
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.caches.mshr import MSHREntry
 from repro.common.types import AccessResult
+from repro.nurapid.cache import (
+    NuRAPIDCache,
+    _PACK_DGROUP_MASK,
+    _PACK_DGROUP_SHIFT,
+    _PACK_FRAME_MASK,
+)
+from repro.nurapid.compression import CompressedNuRAPIDCache
 from repro.sim import fastpath
 from repro.telemetry.runtime import runtime_registry
 
@@ -162,6 +186,41 @@ def replay(system, core, trace, collect: Optional[List[AccessResult]] = None) ->
     lvl_names = [level.name for level in lower]
     n_lower = len(lower)
 
+    # L2 tier eligibility: a bare (or compressed) NuRAPID directly
+    # under the L1, with every per-access hook dead.  The compressed
+    # variant inherits ``access`` unchanged — compressibility only
+    # steers placement and promotion, never a d-group-0 read hit — so
+    # its dg0 constants (decompression-padded latency) flow through
+    # the same instance fields.  Contention wrappers, fault injectors,
+    # and telemetry clients put per-access logic back on the hit path
+    # and disqualify the tier; those runs use the generic walk.
+    l2fast = (
+        n_lower == 1
+        and type(first) in (NuRAPIDCache, CompressedNuRAPIDCache)
+        and first.fault_injector is None
+        and first.telemetry is None
+    )
+    if l2fast:
+        l2_tags = first._tags
+        l2_lru = first._data_lru
+        l2_rt = first._rtouch[0]
+        l2_nr = first._n_regions
+        l2_sc = first._scounts
+        l2_ec = first._ecounts
+        l2_dh = first.dgroup_hits.counts
+        l2_port = first.port
+        l2_tagc = first._tag_cycles
+        l2_occ = first._data_occ[0]
+        l2_dc = first._data_cycles[0]
+        l2_ideal = first._ideal_uniform
+        l2_ideal_lat = first._ideal_lat
+        l2_bmask = first._block_mask
+        l2_shift = first._set_shift
+        l2_smask = first._set_mask
+        l2_name = first.name
+        l2_k_tag = first._k_tag
+        l2_k_read = first._k_dg_read[0]
+
     # Batched integer counters (exact; flushed in finally).  gi is the
     # count of processed references; refs, instructions, reads/writes
     # and hits all derive from it at flush time via the prefix sums
@@ -181,6 +240,13 @@ def replay(system, core, trace, collect: Optional[List[AccessResult]] = None) ->
     n_runs = 0
     n_runs_invalid = 0
     n_windows = 0
+    n_l2_fast = 0
+    n_l2_runs = 0
+    n_l2_stale = 0
+    l2_prev = -2  # global index of the last L2-fast ref (run detection)
+    probe_wall = 0.0
+    apply_wall = 0.0
+    wall_start = perf_counter()
 
     master = zip(
         decoded.addresses,
@@ -200,10 +266,45 @@ def replay(system, core, trace, collect: Optional[List[AccessResult]] = None) ->
             # Window prediction: which refs would hit against the tags
             # as they stand now.  Fills inside the window go stale,
             # which is why runs re-verify at apply time.
+            t_probe = perf_counter()
             fr_w = frames_np[pos:wend]
             ba_w = baddrs_np[pos:wend]
             pred = tags_np[fr_w] == ba_w
             np.logical_or(pred, tags_np[fr_w + 1] == ba_w, out=pred)
+
+            # L2 pre-pass: probe the predicted L1 misses against the
+            # packed NuRAPID tag ints and flag provable d-group-0 hits
+            # (resident with dgroup bits clear).  Flags are advisory —
+            # the scalar loop re-verifies against the live tags — so
+            # staleness from in-window L2 mutation is safe.
+            l2f: tuple = ()
+            if l2fast:
+                miss_i = np.flatnonzero(~pred)
+                if miss_i.size:
+                    ba_m = ba_w[miss_i] & l2_bmask
+                    si_m = (ba_m >> l2_shift) & l2_smask
+                    pk = np.fromiter(
+                        (
+                            t.get(b, -1)
+                            for t, b in zip(
+                                map(l2_tags.__getitem__, si_m.tolist()),
+                                ba_m.tolist(),
+                            )
+                        ),
+                        dtype=np.int64,
+                        count=int(miss_i.size),
+                    )
+                    good = miss_i[
+                        (
+                            (pk >= 0)
+                            & ((pk >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK == 0)
+                        ).nonzero()[0]
+                    ]
+                    if good.size:
+                        flags = np.zeros(wend - pos, dtype=bool)
+                        flags[good] = True
+                        l2f = flags.tolist()
+            probe_wall += perf_counter() - t_probe
 
             runs: List[Tuple[int, int]] = []
             if bool(pred.any()):
@@ -249,26 +350,74 @@ def replay(system, core, trace, collect: Optional[List[AccessResult]] = None) ->
                     level_name = "memory"
                     missed: Optional[List[int]] = None
                     supplied = False
-                    i = 0
-                    for level in lower:
-                        r = level.access(
-                            address, is_write=False, now=cycle + total_latency
-                        )
-                        total_latency += r.latency
-                        lvl_acc[i] += 1
-                        if r.hit:
-                            level_name = r.level or lvl_names[i]
-                            lvl_hits[i] += 1
+                    if l2f and l2f[gi - 1 - pos]:
+                        # Window-flagged provable dg0 hit: re-verify
+                        # against the live packed tags (in-window fills
+                        # and promotions can move the block), then run
+                        # NuRAPID's dg0 read-hit path inlined — same
+                        # stat insertion order, recency touches, and
+                        # port float-op sequence; the tag-probe and
+                        # dg0-read energy charges are batched in the
+                        # finally block (the energy book pre-registers
+                        # its keys, so batching is order-exact).
+                        baddr2 = baddr & l2_bmask
+                        idx2 = (baddr2 >> l2_shift) & l2_smask
+                        packed2 = l2_tags[idx2].get(baddr2, -1)
+                        if packed2 >= 0 and not (
+                            (packed2 >> _PACK_DGROUP_SHIFT) & _PACK_DGROUP_MASK
+                        ):
+                            n_l2_fast += 1
+                            if gi - 2 != l2_prev:
+                                n_l2_runs += 1
+                            l2_prev = gi - 1
+                            l2_sc["accesses"] = l2_sc.get("accesses", 0) + 1
+                            l2_sc["hits"] = l2_sc.get("hits", 0) + 1
+                            l2_dh[0] = l2_dh.get(0, 0) + 1
+                            l2_sc["dgroup_accesses"] = (
+                                l2_sc.get("dgroup_accesses", 0) + 1
+                            )
+                            l2_lru[idx2].touch(baddr2)
+                            l2_rt[idx2 % l2_nr](packed2 & _PACK_FRAME_MASK)
+                            if l2_ideal:
+                                lat2 = l2_ideal_lat
+                            else:
+                                now2 = cycle + total_latency
+                                t0 = now2 + l2_tagc
+                                bu = l2_port.busy_until
+                                start = t0 if t0 >= bu else bu
+                                l2_port.busy_until = start + l2_occ
+                                l2_port.total_busy += l2_occ
+                                l2_port.total_wait += start - t0
+                                l2_port.grants += 1
+                                lat2 = (start - now2) + l2_dc
+                            total_latency += lat2
+                            lvl_acc[0] += 1
+                            lvl_hits[0] += 1
+                            level_name = l2_name
                             supplied = True
-                            break
-                        if missed is None:
-                            missed = [i]
                         else:
-                            missed.append(i)
-                        i += 1
+                            n_l2_stale += 1
                     if not supplied:
-                        n_mem_reads += 1
-                        total_latency += mem_lat
+                        i = 0
+                        for level in lower:
+                            r = level.access(
+                                address, is_write=False, now=cycle + total_latency
+                            )
+                            total_latency += r.latency
+                            lvl_acc[i] += 1
+                            if r.hit:
+                                level_name = r.level or lvl_names[i]
+                                lvl_hits[i] += 1
+                                supplied = True
+                                break
+                            if missed is None:
+                                missed = [i]
+                            else:
+                                missed.append(i)
+                            i += 1
+                        if not supplied:
+                            n_mem_reads += 1
+                            total_latency += mem_lat
 
                     fill_time = cycle + total_latency
                     if missed is not None:
@@ -402,26 +551,68 @@ def replay(system, core, trace, collect: Optional[List[AccessResult]] = None) ->
                         level_name = "memory"
                         missed = None
                         supplied = False
-                        i = 0
-                        for level in lower:
-                            r = level.access(
-                                address, is_write=False, now=cycle + total_latency
-                            )
-                            total_latency += r.latency
-                            lvl_acc[i] += 1
-                            if r.hit:
-                                level_name = r.level or lvl_names[i]
-                                lvl_hits[i] += 1
+                        if l2f and l2f[gi - 1 - pos]:
+                            baddr2 = baddr & l2_bmask
+                            idx2 = (baddr2 >> l2_shift) & l2_smask
+                            packed2 = l2_tags[idx2].get(baddr2, -1)
+                            if packed2 >= 0 and not (
+                                (packed2 >> _PACK_DGROUP_SHIFT)
+                                & _PACK_DGROUP_MASK
+                            ):
+                                n_l2_fast += 1
+                                if gi - 2 != l2_prev:
+                                    n_l2_runs += 1
+                                l2_prev = gi - 1
+                                l2_sc["accesses"] = l2_sc.get("accesses", 0) + 1
+                                l2_sc["hits"] = l2_sc.get("hits", 0) + 1
+                                l2_dh[0] = l2_dh.get(0, 0) + 1
+                                l2_sc["dgroup_accesses"] = (
+                                    l2_sc.get("dgroup_accesses", 0) + 1
+                                )
+                                l2_lru[idx2].touch(baddr2)
+                                l2_rt[idx2 % l2_nr](packed2 & _PACK_FRAME_MASK)
+                                if l2_ideal:
+                                    lat2 = l2_ideal_lat
+                                else:
+                                    now2 = cycle + total_latency
+                                    t0 = now2 + l2_tagc
+                                    bu = l2_port.busy_until
+                                    start = t0 if t0 >= bu else bu
+                                    l2_port.busy_until = start + l2_occ
+                                    l2_port.total_busy += l2_occ
+                                    l2_port.total_wait += start - t0
+                                    l2_port.grants += 1
+                                    lat2 = (start - now2) + l2_dc
+                                total_latency += lat2
+                                lvl_acc[0] += 1
+                                lvl_hits[0] += 1
+                                level_name = l2_name
                                 supplied = True
-                                break
-                            if missed is None:
-                                missed = [i]
                             else:
-                                missed.append(i)
-                            i += 1
+                                n_l2_stale += 1
                         if not supplied:
-                            n_mem_reads += 1
-                            total_latency += mem_lat
+                            i = 0
+                            for level in lower:
+                                r = level.access(
+                                    address,
+                                    is_write=False,
+                                    now=cycle + total_latency,
+                                )
+                                total_latency += r.latency
+                                lvl_acc[i] += 1
+                                if r.hit:
+                                    level_name = r.level or lvl_names[i]
+                                    lvl_hits[i] += 1
+                                    supplied = True
+                                    break
+                                if missed is None:
+                                    missed = [i]
+                                else:
+                                    missed.append(i)
+                                i += 1
+                            if not supplied:
+                                n_mem_reads += 1
+                                total_latency += mem_lat
 
                         fill_time = cycle + total_latency
                         if missed is not None:
@@ -512,6 +703,7 @@ def replay(system, core, trace, collect: Optional[List[AccessResult]] = None) ->
                 # Verified: every reference in the run hits, and hits
                 # do not change tags, so the whole run resolves in one
                 # vector application.
+                t_apply = perf_counter()
                 n_runs += 1
                 n_vector += run_n
                 gi += run_n
@@ -537,6 +729,7 @@ def replay(system, core, trace, collect: Optional[List[AccessResult]] = None) ->
                 clock += run_n
                 # Consume the run's references from the scalar stream.
                 next(islice(master, run_n, run_n), None)
+                apply_wall += perf_counter() - t_apply
                 cursor = re
             pos = wend
     finally:
@@ -589,11 +782,24 @@ def replay(system, core, trace, collect: Optional[List[AccessResult]] = None) ->
         mshr.primary_misses += n_primary
         mshr.merged_misses += n_merged
         mshr.full_stalls += n_full
+        # Batched L2 energy for the inlined dg0 hits: one tag probe and
+        # one dg0 read per fast hit.  Exact — integer adds into keys
+        # the energy book created at registration time.
+        if n_l2_fast:
+            l2_ec[l2_k_tag] += n_l2_fast
+            l2_ec[l2_k_read] += n_l2_fast
         reg = runtime_registry()
         reg.add("vectorized.windows", n_windows)
         reg.add("vectorized.refs", n_refs)
         reg.add("vectorized.refs_vector", n_vector)
-        reg.add("vectorized.refs_scalar", n_refs - n_vector)
+        reg.add("vectorized.refs_scalar", n_refs - n_vector - n_l2_fast)
         reg.add("vectorized.runs_applied", n_runs)
         if n_runs_invalid:
             reg.add("vectorized.runs_invalidated", n_runs_invalid)
+        reg.add("vectorized.l2_refs_vector", n_l2_fast)
+        reg.add("vectorized.l2_runs_applied", n_l2_runs)
+        if n_l2_stale:
+            reg.add("vectorized.l2_flags_stale", n_l2_stale)
+        reg.add("vectorized.wall_s", perf_counter() - wall_start)
+        reg.add("vectorized.probe_wall_s", probe_wall)
+        reg.add("vectorized.l1_apply_wall_s", apply_wall)

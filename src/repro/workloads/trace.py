@@ -190,9 +190,20 @@ class Trace:
         )
 
     def split(self, fraction: float) -> Tuple["Trace", "Trace"]:
-        """Split into (warmup, measured) at ``fraction`` of the records."""
+        """Split into (warmup, measured) at ``fraction`` of the records.
+
+        Memoized per fraction: every cell of a sweep (and every bench
+        repetition) splits its trace at the same point, and reusing the
+        child ``Trace`` objects also reuses their :meth:`decoded_batch`
+        caches — the decode then happens once per trace instead of once
+        per run.  The children are frozen views over this trace's
+        arrays, so sharing them is safe.
+        """
         if not 0.0 <= fraction < 1.0:
             raise ConfigurationError("split fraction must be in [0, 1)")
+        cache = getattr(self, "_split_cache", None)
+        if cache is not None and fraction in cache:
+            return cache[fraction]
         cut = int(len(self) * fraction)
         warm = self.head(cut)
         rest = Trace(
@@ -201,6 +212,10 @@ class Trace:
             addresses=self.addresses[cut:],
             writes=self.writes[cut:],
         )
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_split_cache", cache)
+        cache[fraction] = (warm, rest)
         return warm, rest
 
     # --- persistence ---

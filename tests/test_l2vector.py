@@ -1,0 +1,167 @@
+"""L2/NuRAPID tier of the vectorized kernel: parity and liveness.
+
+The vectorized engine's third tier bulk-resolves references the L1
+pre-pass proved to miss when they are provable NuRAPID fast-d-group
+(dg0) read hits.  Like every exact engine it promises bit-identity,
+not statistical agreement, so the randomized property suite here
+compares full ``run_result_to_dict`` payloads — and telemetry report
+bytes — against ``engine=fast`` across benchmarks, seeds, set-conflict
+pressure, prewarm, fault injection, and compressed-NuRAPID variants.
+The liveness tests pin the tier's runtime counters, because a
+silently-disabled fast path would pass every parity test while
+delivering none of the speedup.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.cmp.config import CmpConfig, CompressionConfig
+from repro.faults.models import FaultPlan
+from repro.nurapid.config import DistanceReplacementKind, PromotionPolicy
+from repro.sim.config import nurapid_config, snuca_config
+from repro.sim.driver import run_benchmark
+from repro.sim.results import run_result_to_dict
+from repro.telemetry import TelemetryConfig, reset_runtime_registry, runtime_counters
+from repro.telemetry.report import merge_payloads, render_report
+from repro.workloads.spec2k import get_benchmark
+from repro.workloads.tracegen import TraceGenerator
+
+WARMUP = 0.25
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runtime_registry():
+    reset_runtime_registry()
+    yield
+    reset_runtime_registry()
+
+
+def compressed_config(**kw):
+    return replace(
+        nurapid_config(**kw),
+        cmp=CmpConfig(cores=1, compression=CompressionConfig()),
+    )
+
+
+def run_dict(config, benchmark, refs, seed, conflict, prewarm, engine,
+             telemetry=None):
+    trace = TraceGenerator(
+        get_benchmark(benchmark), seed=seed, warm_set_conflict=conflict
+    ).generate(refs)
+    result = run_benchmark(
+        replace(config, engine=engine),
+        benchmark,
+        n_references=refs,
+        seed=seed,
+        warmup_fraction=WARMUP,
+        trace=trace,
+        prewarm=prewarm,
+        telemetry=telemetry,
+    )
+    return run_result_to_dict(result)
+
+
+class TestRandomizedL2Parity:
+    """Property-style: the L2 tier equals the scalar fast engine.
+
+    Each sampled case draws the full axis set the tier interacts with.
+    Fault injection disarms the tier (it must fall back to the generic
+    walk, not diverge); compression keeps it armed with reshaped
+    d-groups; the two are mutually exclusive by config validation.
+    """
+
+    CASE_COUNT = 10
+
+    def _cases(self):
+        rng = random.Random(0x12C0DE)
+        names = ["twolf", "art", "mcf", "galgel", "wupwise"]
+        variants = [
+            lambda: nurapid_config(),
+            lambda: nurapid_config(
+                n_dgroups=2,
+                promotion=PromotionPolicy.DEMOTION_ONLY,
+                distance_replacement=DistanceReplacementKind.LRU,
+            ),
+            lambda: nurapid_config(promotion_hysteresis=4),
+            compressed_config,
+        ]
+        for _ in range(self.CASE_COUNT):
+            config = rng.choice(variants)()
+            faulted = config.cmp is None and rng.random() < 0.3
+            if faulted:
+                config = replace(
+                    config,
+                    faults=FaultPlan(
+                        transient_per_access=1e-4,
+                        seed=rng.randrange(1 << 8),
+                    ),
+                )
+            yield {
+                "benchmark": rng.choice(names),
+                "seed": rng.randrange(1 << 16),
+                "conflict": rng.choice([1, 2, 4, 8]),
+                "prewarm": rng.random() < 0.7,
+                "refs": rng.choice([2000, 4000, 6000]),
+                "config": config,
+            }
+
+    @pytest.mark.parametrize("case_index", range(CASE_COUNT))
+    def test_random_case_parity(self, case_index):
+        case = list(self._cases())[case_index]
+        payloads = {
+            engine: run_dict(
+                case["config"],
+                case["benchmark"],
+                case["refs"],
+                case["seed"],
+                case["conflict"],
+                case["prewarm"],
+                engine,
+            )
+            for engine in ("fast", "vectorized")
+        }
+        assert payloads["fast"] == payloads["vectorized"], case
+
+    @pytest.mark.parametrize(
+        "config",
+        [nurapid_config(), compressed_config()],
+        ids=["nurapid", "compressed"],
+    )
+    def test_telemetry_report_byte_identical(self, config):
+        reports = {}
+        for engine in ("fast", "vectorized"):
+            payload = run_dict(
+                config, "galgel", 6000, 1, 1, True, engine,
+                telemetry=TelemetryConfig(),
+            )
+            telem = payload.pop("telemetry")
+            reports[engine] = render_report(merge_payloads([("cell", telem)]))
+        assert reports["fast"] == reports["vectorized"]
+        assert reports["fast"].startswith("== telemetry report ==")
+
+
+class TestL2TierLiveness:
+    def test_counters_fire_on_eligible_config(self):
+        run_dict(nurapid_config(), "galgel", 8000, 3, 1, True, "vectorized")
+        counters = runtime_counters()
+        assert counters.get("vectorized.l2_refs_vector", 0) > 0
+        assert counters.get("vectorized.l2_runs_applied", 0) > 0
+
+    def test_tier_fires_under_compression(self):
+        run_dict(compressed_config(), "galgel", 8000, 3, 1, True, "vectorized")
+        assert runtime_counters().get("vectorized.l2_refs_vector", 0) > 0
+
+    def test_tier_disarmed_by_fault_injection(self):
+        config = nurapid_config(
+            faults=FaultPlan(transient_per_access=1e-4, seed=5)
+        )
+        run_dict(config, "galgel", 8000, 3, 1, True, "vectorized")
+        # An armed injector makes dg0 hits unprovable in bulk; the
+        # kernel must not even try (the generic walk handles them).
+        assert runtime_counters().get("vectorized.l2_refs_vector", 0) == 0
+
+    def test_snuca_not_eligible(self):
+        run_dict(snuca_config(), "galgel", 8000, 3, 1, True, "vectorized")
+        assert runtime_counters().get("vectorized.l2_refs_vector", 0) == 0

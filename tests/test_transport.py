@@ -1,0 +1,172 @@
+"""Zero-copy decoded-trace transport: parity, reuse, and recovery.
+
+The transport layer (:mod:`repro.workloads.transport`) is pure
+optimization: a worker that mmaps the decoded segment must produce the
+exact payload bytes of one that inflates the ``.npz``, the parent must
+build each segment exactly once (including across worker SIGKILLs),
+and a worker process must decode each trace at most once no matter how
+many cells it executes — all proven here through the ``transport.*``
+runtime counters.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import chaos
+from repro.resilience.supervisor import SupervisorConfig, run_cells_supervised
+from repro.sim.config import nurapid_config, snuca_config
+from repro.sim.parallel import CellTask, execute_cell, run_cells
+from repro.telemetry import reset_runtime_registry, runtime_counters
+from repro.workloads import transport
+from repro.workloads.tracegen import TraceCache
+
+REFS = 3_000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_transport_state():
+    reset_runtime_registry()
+    transport.reset_for_tests()
+    yield
+    reset_runtime_registry()
+    transport.reset_for_tests()
+
+
+@pytest.fixture
+def trace_paths(tmp_path):
+    cache = TraceCache(str(tmp_path / "traces"))
+    return {
+        benchmark: cache.ensure(benchmark, REFS, seed=7)
+        for benchmark in ("twolf", "wupwise")
+    }
+
+
+def make_tasks(trace_paths, with_mmap=True):
+    cells = [
+        (config, benchmark)
+        for config in (nurapid_config(), snuca_config())
+        for benchmark in ("twolf", "wupwise")
+    ]
+    return [
+        CellTask(
+            index=i,
+            config=config,
+            benchmark=benchmark,
+            n_references=REFS,
+            seed=7,
+            warmup_fraction=0.3,
+            trace_path=trace_paths[benchmark],
+            mmap_path=(
+                transport.ensure_decoded(trace_paths[benchmark])
+                if with_mmap
+                else None
+            ),
+        )
+        for i, (config, benchmark) in enumerate(cells)
+    ]
+
+
+class TestSegmentLifecycle:
+    def test_build_once_then_reuse(self, trace_paths):
+        path = transport.ensure_decoded(trace_paths["twolf"])
+        assert path == transport.decoded_path(trace_paths["twolf"])
+        assert os.path.exists(path) and os.path.exists(path + ".sha256")
+        assert runtime_counters()["transport.segment_builds"] == 1
+        # Same process: memoized, no re-hash, no rebuild.
+        assert transport.ensure_decoded(trace_paths["twolf"]) == path
+        assert runtime_counters()["transport.segment_builds"] == 1
+        # Fresh process (simulated): the file is found and verified.
+        transport.reset_for_tests()
+        assert transport.ensure_decoded(trace_paths["twolf"]) == path
+        counters = runtime_counters()
+        assert counters["transport.segment_builds"] == 1
+        assert counters["transport.segment_reuses"] == 1
+
+    def test_missing_trace_yields_none(self, tmp_path):
+        assert transport.ensure_decoded(None) is None
+        assert transport.ensure_decoded(str(tmp_path / "absent.npz")) is None
+
+    def test_corrupt_segment_falls_back(self, trace_paths):
+        path = transport.ensure_decoded(trace_paths["twolf"])
+        with open(path, "r+b") as handle:
+            handle.seek(200)
+            handle.write(b"\xff\xff\xff\xff")
+        transport.reset_for_tests()
+        assert transport.load_mmap_trace(path, "twolf", REFS) is None
+        assert runtime_counters()["transport.mmap_unusable"] == 1
+
+    def test_wrong_shape_falls_back(self, trace_paths):
+        path = transport.ensure_decoded(trace_paths["twolf"])
+        assert transport.load_mmap_trace(path, "twolf", REFS + 1) is None
+        assert runtime_counters()["transport.mmap_unusable"] == 1
+
+
+class TestWorkerReuse:
+    def test_one_decode_per_process(self, trace_paths):
+        path = transport.ensure_decoded(trace_paths["twolf"])
+        first = transport.load_mmap_trace(path, "twolf", REFS)
+        second = transport.load_mmap_trace(path, "twolf", REFS)
+        assert first is second
+        counters = runtime_counters()
+        assert counters["transport.trace_loads"] == 1
+        assert counters["transport.trace_reuses"] == 1
+
+    def test_cells_share_one_decode(self, trace_paths):
+        # Four cells over two traces through the worker entrypoint:
+        # exactly one load per trace, every later cell a pure reuse —
+        # the "zero per-cell re-decodes" property.
+        tasks = make_tasks(trace_paths)
+        payloads = [execute_cell(task) for task in tasks]
+        assert all(p["outcome"]["status"] == "ok" for p in payloads)
+        counters = runtime_counters()
+        assert counters["transport.trace_loads"] == 2
+        assert counters["transport.trace_reuses"] == 2
+        assert "transport.mmap_unusable" not in counters
+
+
+class TestResultParity:
+    def test_mmap_matches_npz_bytes(self, trace_paths):
+        mmap_payloads = [execute_cell(t) for t in make_tasks(trace_paths)]
+        npz_payloads = [
+            execute_cell(t) for t in make_tasks(trace_paths, with_mmap=False)
+        ]
+        assert json.dumps(mmap_payloads, sort_keys=True) == json.dumps(
+            npz_payloads, sort_keys=True
+        )
+
+    def test_jobs2_identical_to_serial(self, trace_paths):
+        tasks = make_tasks(trace_paths)
+        serial = run_cells(tasks, jobs=1)
+        parallel = run_cells(tasks, jobs=2)
+        assert parallel == serial
+
+
+class TestKillRecovery:
+    @pytest.fixture
+    def chaos_dir(self, tmp_path, monkeypatch):
+        directory = str(tmp_path / "chaos")
+        monkeypatch.setenv(chaos.CHAOS_ENV, directory)
+        monkeypatch.setenv(chaos.HANG_ENV, "60")
+        return directory
+
+    def test_sigkill_restart_rebuilds_nothing(self, trace_paths, chaos_dir):
+        # A killed worker is respawned and its cell retried; the retry
+        # mmaps the same parent-built segment.  Results stay identical
+        # and the parent never rebuilds a segment.
+        tasks = make_tasks(trace_paths)
+        expected = run_cells(tasks, jobs=1)
+        builds_after_setup = runtime_counters()["transport.segment_builds"]
+        assert builds_after_setup == 2
+
+        chaos.inject_kill(chaos_dir, index=1)
+        recovered = run_cells_supervised(
+            tasks,
+            jobs=2,
+            config=SupervisorConfig(backoff_base_s=0.01, backoff_cap_s=0.05),
+        )
+        assert recovered == expected
+        counters = runtime_counters()
+        assert counters["supervisor.crashes"] == 1
+        assert counters["transport.segment_builds"] == builds_after_setup
